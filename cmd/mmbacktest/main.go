@@ -1,0 +1,109 @@
+// Command mmbacktest runs the paper's Section V experiment: the
+// brute-force backtest of the canonical pair-trading strategy over all
+// pairs × parameter sets × trading days, comparing the Pearson,
+// Maronna and Combined correlation treatments, and prints Tables
+// III–V plus the Figure 2 box-plot statistics.
+//
+// Usage:
+//
+//	mmbacktest -scale tiny                  # seconds, qualitative
+//	mmbacktest -scale small                 # minutes
+//	mmbacktest -scale paper                 # the full 61x20x42 sweep
+//	mmbacktest -scale tiny -json out.json   # save raw results
+//	mmbacktest -print-grid                  # show Table I's 42 sets
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"marketminer"
+	"marketminer/internal/backtest"
+)
+
+func main() {
+	var (
+		scale     = flag.String("scale", "tiny", "experiment scale: tiny | small | paper")
+		seed      = flag.Int64("seed", 20080301, "random seed")
+		levels    = flag.Int("levels", 0, "restrict to first N parameter levels (0 = all 14)")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		jsonOut   = flag.String("json", "", "write raw results to this JSON file")
+		boxplots  = flag.Bool("boxplots", true, "print Figure 2 box-plot statistics")
+		printGrid = flag.Bool("print-grid", false, "print the Table I parameter grid and exit")
+	)
+	flag.Parse()
+	if err := run(*scale, *seed, *levels, *workers, *jsonOut, *boxplots, *printGrid); err != nil {
+		fmt.Fprintln(os.Stderr, "mmbacktest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale string, seed int64, levels, workers int, jsonOut string, boxplots, printGrid bool) error {
+	if printGrid {
+		fmt.Println("TABLE I — STRATEGY PARAMETER SETS (14 levels x 3 correlation types)")
+		for i, p := range marketminer.ParamGrid() {
+			fmt.Printf("%2d: %v\n", i+1, p)
+		}
+		return nil
+	}
+
+	var sc marketminer.Scale
+	switch scale {
+	case "tiny":
+		sc = marketminer.ScaleTiny
+	case "small":
+		sc = marketminer.ScaleSmall
+	case "paper":
+		sc = marketminer.ScalePaper
+	default:
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	cfg := marketminer.SweepConfig(sc, seed)
+	cfg.Workers = workers
+	if levels > 0 {
+		all := marketminer.ParamLevels()
+		if levels > len(all) {
+			levels = len(all)
+		}
+		cfg.Levels = all[:levels]
+	}
+	cfg.Progress = func(day, total, trades int) {
+		fmt.Printf("  day %2d/%d: %6d trades\n", day+1, total, trades)
+	}
+
+	nLevels := len(cfg.Levels)
+	if nLevels == 0 {
+		nLevels = 14
+	}
+	fmt.Printf("sweep: %d stocks (%d pairs) x %d days x %d levels x 3 types\n",
+		cfg.Market.Universe.Len(), cfg.Market.Universe.NumPairs(), cfg.Market.Days, nLevels)
+	start := time.Now()
+	res, err := marketminer.RunBacktest(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("completed in %v: %d trades\n\n", time.Since(start).Round(time.Millisecond), res.TradeCount)
+
+	fmt.Println(marketminer.FormatTableIII(res))
+	fmt.Println(marketminer.FormatTableIV(res))
+	fmt.Println(marketminer.FormatTableV(res))
+	if boxplots {
+		fmt.Println(marketminer.FormatFigure2(res))
+	}
+
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := backtest.SaveJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("raw results saved to %s\n", jsonOut)
+	}
+	return nil
+}

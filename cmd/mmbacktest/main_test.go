@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marketminer/internal/backtest"
+)
+
+func TestRunPrintGrid(t *testing.T) {
+	if err := run("tiny", 1, 0, 1, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownScale(t *testing.T) {
+	if err := run("galactic", 1, 0, 1, "", false, false); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestRunTinySweepWithJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := filepath.Join(t.TempDir(), "res.json")
+	if err := run("tiny", 7, 2, 1, out, true, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := backtest.LoadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPairs() != 28 || len(res.Levels) != 2 {
+		t.Errorf("saved sweep shape wrong: %d pairs, %d levels", res.NumPairs(), len(res.Levels))
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marketminer/internal/taq"
+)
+
+func TestRunWritesReadableCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "taq.csv")
+	if err := run(out, 1, 4, 5, 0.05, 0.01, 2, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	quotes, err := taq.NewReader(f, true).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quotes) == 0 {
+		t.Fatal("no quotes written")
+	}
+	for _, q := range quotes[:10] {
+		if q.Day != 0 || q.Symbol == "" {
+			t.Fatalf("malformed quote %+v", q)
+		}
+	}
+}
+
+func TestRunSampleMode(t *testing.T) {
+	// Sample mode writes to stdout only; it must not create the file.
+	out := filepath.Join(t.TempDir(), "unused.csv")
+	if err := run(out, 1, 4, 5, 0.05, 0, 2, true, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("sample mode should not write a file")
+	}
+}
+
+func TestRunValidatesStocks(t *testing.T) {
+	if err := run("x.csv", 1, 1, 5, 0.05, 0, 2, false, 0); err == nil {
+		t.Error("stocks < 2 should error")
+	}
+	if err := run("x.csv", 1, 99, 5, 0.05, 0, 2, false, 0); err == nil {
+		t.Error("stocks > 61 should error")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marketminer/internal/taq"
+)
+
+func TestRunSyntheticDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("", 0, 4, 9, "pearson", 30, 20, 0.005, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run("", 0, 4, 9, "spearmanX", 30, 20, 0.005, 1, false); err == nil {
+		t.Error("unknown ctype should error")
+	}
+	if err := run("", 0, 1, 9, "pearson", 30, 20, 0.005, 1, false); err == nil {
+		t.Error("stocks < 2 should error")
+	}
+}
+
+func TestLoadCSVRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := taq.NewWriter(f)
+	for i := 0; i < 10; i++ {
+		sym := "AA"
+		if i%2 == 1 {
+			sym = "BB"
+		}
+		w.Write(taq.Quote{Day: 0, SeqTime: float64(i), Symbol: sym, Bid: 10, Ask: 10.1, BidSize: 1, AskSize: 1})
+	}
+	w.Write(taq.Quote{Day: 1, SeqTime: 5, Symbol: "CC", Bid: 1, Ask: 1.1, BidSize: 1, AskSize: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	quotes, uni, err := loadCSV(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quotes) != 10 {
+		t.Errorf("loaded %d quotes, want 10 (day filter)", len(quotes))
+	}
+	if uni.Len() != 2 {
+		t.Errorf("universe = %d symbols, want 2", uni.Len())
+	}
+	// A day with a single symbol is rejected.
+	if _, _, err := loadCSV(path, 1); err == nil {
+		t.Error("single-symbol day should error")
+	}
+	if _, _, err := loadCSV("/nonexistent.csv", 0); err == nil {
+		t.Error("missing file should error")
+	}
+}

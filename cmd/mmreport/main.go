@@ -1,0 +1,87 @@
+// Command mmreport renders the paper's tables from raw sweep results
+// saved by "mmbacktest -json". It lets the expensive sweep run once
+// while the analysis (Tables III–V, Figure 2, per-pair extremes) is
+// re-rendered cheaply.
+//
+// Usage:
+//
+//	mmreport -in results.json
+//	mmreport -in results.json -top 5     # also list best/worst pairs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/report"
+	"marketminer/internal/taq"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "JSON results file from mmbacktest -json")
+		top = flag.Int("top", 0, "list the N best and worst pairs per treatment")
+	)
+	flag.Parse()
+	if err := run(*in, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "mmreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in string, top int) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, err := backtest.LoadJSON(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded sweep: %d stocks (%d pairs), %d days, %d levels x %d types, %d trades\n\n",
+		res.Universe.Len(), res.NumPairs(), res.Days, len(res.Levels), len(res.Types), res.TradeCount)
+
+	rets := res.CumulativeMonthlyReturns()
+	fmt.Println(report.TableIII(rets))
+	fmt.Println(report.TableIV(res.MaxDailyDrawdowns()))
+	fmt.Println(report.TableV(res.WinLossRatios()))
+	fmt.Println(report.Figure2("Average cumulative monthly returns", rets))
+
+	if top > 0 {
+		// "Identifying which pairs perform well is worthy a further
+		// investigation" — the per-pair extremes the paper defers.
+		for _, a := range rets {
+			fmt.Printf("TOP/BOTTOM %d PAIRS — %s (by average gross monthly return)\n", top, a.Type)
+			type pairVal struct {
+				pair int
+				v    float64
+			}
+			vals := make([]pairVal, 0, len(a.PerPair))
+			for p, v := range a.PerPair {
+				vals = append(vals, pairVal{p, v})
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i].v > vals[j].v })
+			n := res.Universe.Len()
+			name := func(pid int) string {
+				pr := taq.PairFromID(pid, n)
+				return res.Universe.Symbol(pr.I) + "/" + res.Universe.Symbol(pr.J)
+			}
+			for i := 0; i < top && i < len(vals); i++ {
+				fmt.Printf("  best %2d: %-12s %.4f\n", i+1, name(vals[i].pair), vals[i].v)
+			}
+			for i := 0; i < top && i < len(vals); i++ {
+				k := len(vals) - 1 - i
+				fmt.Printf("  worst %2d: %-12s %.4f\n", i+1, name(vals[k].pair), vals[k].v)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

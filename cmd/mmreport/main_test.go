@@ -1,0 +1,53 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"marketminer"
+	"marketminer/internal/backtest"
+)
+
+func writeResults(t *testing.T) string {
+	t.Helper()
+	cfg := marketminer.SweepConfig(marketminer.ScaleTiny, 3)
+	cfg.Levels = marketminer.ParamLevels()[:2]
+	res, err := backtest.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := backtest.SaveJSON(f, res); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersSavedResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := writeResults(t)
+	if err := run(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", 0); err == nil {
+		t.Error("missing -in should error")
+	}
+	if err := run("/nonexistent/results.json", 0); err == nil {
+		t.Error("missing file should error")
+	}
+}

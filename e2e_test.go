@@ -1,0 +1,196 @@
+package marketminer
+
+// End-to-end integration tests crossing module boundaries the way the
+// command-line tools do: CSV persistence → file-collector replay →
+// pipeline, and pipeline trades → metrics → report, plus determinism
+// of the whole stack.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/metrics"
+	"marketminer/internal/taq"
+)
+
+func e2eUniverse(t *testing.T) *Universe {
+	t.Helper()
+	u, err := NewUniverse([]string{"XOM", "CVX", "UPS", "FDX", "WMT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func e2eQuotes(t *testing.T, u *Universe) []Quote {
+	t.Helper()
+	gen, err := NewMarket(MarketConfig{Universe: u, Seed: 17, Days: 1, Contamination: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := gen.GenerateDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return day.Quotes
+}
+
+// TestE2E_CSVReplayMatchesDirectFeed writes a day through the TAQ CSV
+// writer, reads it back (the mmgen → mmpipeline path), and checks the
+// pipeline produces identical trades from both feeds. Prices survive
+// at 4-decimal resolution, which is the generator's native tick size.
+func TestE2E_CSVReplayMatchesDirectFeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	u := e2eUniverse(t)
+	quotes := e2eQuotes(t, u)
+
+	var buf bytes.Buffer
+	w := taq.NewWriter(&buf)
+	for _, q := range quotes {
+		if err := w.Write(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := taq.NewReader(&buf, true)
+	var replayed []Quote
+	for {
+		q, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed = append(replayed, q)
+	}
+	if len(replayed) != len(quotes) {
+		t.Fatalf("replayed %d of %d quotes", len(replayed), len(quotes))
+	}
+
+	p := DefaultParams()
+	p.M = 50
+	cfg := PipelineConfig{Universe: u, Params: []Params{p}}
+	direct, err := RunLivePipeline(context.Background(), cfg, quotes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := PipelineConfig{Universe: u, Params: []Params{p}}
+	fromCSV, err := RunLivePipeline(context.Background(), cfg2, replayed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Trades[0]) != len(fromCSV.Trades[0]) {
+		t.Fatalf("direct %d trades, CSV replay %d", len(direct.Trades[0]), len(fromCSV.Trades[0]))
+	}
+	for i := range direct.Trades[0] {
+		a, b := direct.Trades[0][i], fromCSV.Trades[0][i]
+		if a.EntryS != b.EntryS || a.ExitS != b.ExitS || a.LongStock != b.LongStock {
+			t.Errorf("trade %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestE2E_TradesToMetricsToReport pushes pipeline trades through the
+// Equations (1)–(9) metrics into a rendered table, checking the whole
+// analysis chain is consistent.
+func TestE2E_TradesToMetricsToReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	u := e2eUniverse(t)
+	quotes := e2eQuotes(t, u)
+	p := DefaultParams()
+	p.M = 50
+	res, err := RunLivePipeline(context.Background(), PipelineConfig{
+		Universe: u, Params: []Params{p},
+	}, quotes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rets []float64
+	for _, tr := range res.Trades[0] {
+		rets = append(rets, tr.Return)
+	}
+	if len(rets) == 0 {
+		t.Skip("no trades this seed")
+	}
+	daily := metrics.DailyCumulative(rets)
+	wins, losses := metrics.WinLossCounts(rets)
+	if wins+losses > len(rets) {
+		t.Fatal("win/loss counts exceed trades")
+	}
+	mdd := metrics.MaxDrawdown(rets)
+	if mdd < 0 {
+		t.Fatal("negative drawdown")
+	}
+	// Compounding identity: 1+daily == Π(1+r).
+	prod := 1.0
+	for _, r := range rets {
+		prod *= 1 + r
+	}
+	if diff := (1 + daily) - prod; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("compounding identity violated: %v", diff)
+	}
+}
+
+// TestE2E_DeterministicStack asserts the full stack (generator →
+// cleaner → backtest → aggregation) is bit-deterministic for a fixed
+// seed, which the reproducibility of EXPERIMENTS.md depends on.
+func TestE2E_DeterministicStack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func() string {
+		cfg := SweepConfig(ScaleTiny, 23)
+		cfg.Levels = ParamLevels()[:2]
+		res, err := RunBacktest(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return FormatTableIII(res) + FormatTableIV(res) + FormatTableV(res)
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Error("identical seeds produced different tables")
+	}
+	if !strings.Contains(a, "TABLE III") {
+		t.Error("table missing header")
+	}
+}
+
+// TestE2E_JSONWorkflow exercises the mmbacktest -json → mmreport path.
+func TestE2E_JSONWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := SweepConfig(ScaleTiny, 31)
+	cfg.Levels = ParamLevels()[:2]
+	res, err := RunBacktest(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := backtest.SaveJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := backtest.LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatTableIII(back) != FormatTableIII(res) {
+		t.Error("Table III changed across JSON round-trip")
+	}
+	if FormatFigure2(back) != FormatFigure2(res) {
+		t.Error("Figure 2 changed across JSON round-trip")
+	}
+}

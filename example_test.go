@@ -1,0 +1,61 @@
+package marketminer_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"marketminer"
+)
+
+// ExampleParamGrid shows the paper's Table I grid: 14 non-treatment
+// levels crossed with the three correlation measures.
+func ExampleParamGrid() {
+	grid := marketminer.ParamGrid()
+	fmt.Println(len(marketminer.ParamLevels()), "levels,", len(grid), "sets")
+	fmt.Println(grid[0])
+	// Output:
+	// 14 levels, 42 sets
+	// {∆s=30, Ctype=Pearson, A=0.1, M=100, W=60, Y=10, d=0.01%, ℓ=0.667, RT=60, HP=30, ST=20}
+}
+
+// ExampleDefaultUniverse shows the 61-stock universe and its pair
+// count — the scale of the paper's Section V experiment.
+func ExampleDefaultUniverse() {
+	u := marketminer.DefaultUniverse()
+	fmt.Println(u.Len(), "stocks,", u.NumPairs(), "pairs")
+	// Output: 61 stocks, 1830 pairs
+}
+
+// ExampleNewMarket generates one deterministic synthetic trading day.
+func ExampleNewMarket() {
+	universe, err := marketminer.NewUniverse([]string{"XOM", "CVX"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := marketminer.NewMarket(marketminer.MarketConfig{
+		Universe: universe, Seed: 1, Days: 1, QuoteRate: 0.01, LiquiditySpread: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	day, err := gen.GenerateDay(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(day.Quotes[0].Symbol, "quoted at", day.Quotes[0].Clock())
+	// Output: CVX quoted at 09:30:09
+}
+
+// ExampleRunBacktest sketches the Section V sweep; scaled down so the
+// example stays illustrative (not executed as a doc test).
+func ExampleRunBacktest() {
+	cfg := marketminer.SweepConfig(marketminer.ScaleTiny, 20080301)
+	cfg.Levels = marketminer.ParamLevels()[:2]
+	res, err := marketminer.RunBacktest(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Types) == 3, res.NumPairs() == 28)
+	// Output: true true
+}

@@ -1,0 +1,89 @@
+// Paramsearch: the model-development loop the paper's backtesting
+// methodology serves — sweep the Table I parameter grid over a small
+// universe, then rank parameter sets by risk-adjusted performance to
+// "identify the best overall trading strategy" (§IV) and match
+// configurations to risk profiles (§V).
+//
+// Run with:
+//
+//	go run ./examples/paramsearch
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"marketminer"
+	"marketminer/internal/stats"
+)
+
+func main() {
+	cfg := marketminer.SweepConfig(marketminer.ScaleTiny, 5)
+	cfg.Levels = marketminer.ParamLevels() // all 14 levels × 3 types
+
+	fmt.Printf("sweeping %d stocks (%d pairs) x %d days x 42 parameter sets...\n",
+		cfg.Market.Universe.Len(), cfg.Market.Universe.NumPairs(), cfg.Market.Days)
+	res, err := marketminer.RunBacktest(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d trades\n\n", res.TradeCount)
+
+	// Per parameter set: pool the total cumulative return of every
+	// pair, then score by the paper's Sharpe ratio (mean/σ across
+	// pairs) — summarising "over all pairs but for a given parameter
+	// set indicates which parameters are most effective".
+	type scored struct {
+		idx    int
+		sharpe float64
+		mean   float64
+		trades int
+	}
+	var rows []scored
+	for k := 0; k < res.NumParams(); k++ {
+		var rets []float64
+		var trades int
+		for p := 0; p < res.NumPairs(); p++ {
+			rets = append(rets, res.Series[p][k].TotalCumulative())
+			trades += res.Series[p][k].NumTrades()
+		}
+		rows = append(rows, scored{
+			idx:    k,
+			sharpe: stats.SharpeRatio(rets),
+			mean:   stats.Mean(rets),
+			trades: trades,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sharpe > rows[j].sharpe })
+
+	fmt.Println("top 8 parameter sets by cross-pair Sharpe ratio:")
+	fmt.Printf("%-4s %10s %12s %8s  %s\n", "rank", "sharpe", "mean ret", "trades", "parameters")
+	for i := 0; i < 8 && i < len(rows); i++ {
+		r := rows[i]
+		fmt.Printf("%-4d %10.3f %+11.4f%% %8d  %v\n",
+			i+1, r.sharpe, r.mean*100, r.trades, res.Param(r.idx))
+	}
+	fmt.Println("\nbottom 3:")
+	for i := len(rows) - 3; i < len(rows); i++ {
+		r := rows[i]
+		fmt.Printf("%-4d %10.3f %+11.4f%% %8d  %v\n",
+			i+1, r.sharpe, r.mean*100, r.trades, res.Param(r.idx))
+	}
+
+	// Treatment comparison, pooled over levels (the Section V cut).
+	fmt.Println("\nby correlation treatment (mean of per-level Sharpe):")
+	for ti, ct := range res.Types {
+		var s float64
+		for li := range res.Levels {
+			k := res.ParamIndex(ti, li)
+			for _, r := range rows {
+				if r.idx == k {
+					s += r.sharpe
+				}
+			}
+		}
+		fmt.Printf("  %-10s %8.3f\n", ct, s/float64(len(res.Levels)))
+	}
+}

@@ -1,0 +1,3 @@
+module marketminer
+
+go 1.22

@@ -1,0 +1,85 @@
+package backtest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"marketminer/internal/corr"
+	"marketminer/internal/metrics"
+	"marketminer/internal/strategy"
+	"marketminer/internal/taq"
+)
+
+// jsonResult is the serialised form of Result: the universe flattens
+// to its symbol list and correlation types to their names, so the file
+// is self-describing and stable across refactors.
+type jsonResult struct {
+	Symbols    []string                `json:"symbols"`
+	Levels     []strategy.Params       `json:"levels"`
+	Types      []string                `json:"types"`
+	Days       int                     `json:"days"`
+	TradeCount int64                   `json:"trade_count"`
+	Series     [][]jsonPairParamSeries `json:"series"`
+}
+
+type jsonPairParamSeries struct {
+	Daily [][]float64 `json:"daily"`
+}
+
+// SaveJSON writes the sweep result to w.
+func SaveJSON(w io.Writer, r *Result) error {
+	jr := jsonResult{
+		Symbols:    r.Universe.Symbols(),
+		Levels:     r.Levels,
+		Days:       r.Days,
+		TradeCount: r.TradeCount,
+	}
+	for _, t := range r.Types {
+		jr.Types = append(jr.Types, t.String())
+	}
+	jr.Series = make([][]jsonPairParamSeries, len(r.Series))
+	for p := range r.Series {
+		jr.Series[p] = make([]jsonPairParamSeries, len(r.Series[p]))
+		for k := range r.Series[p] {
+			jr.Series[p][k] = jsonPairParamSeries{Daily: r.Series[p][k].Daily}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(jr)
+}
+
+// LoadJSON reads a sweep result written by SaveJSON.
+func LoadJSON(r io.Reader) (*Result, error) {
+	var jr jsonResult
+	if err := json.NewDecoder(r).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("backtest: decode result: %w", err)
+	}
+	uni, err := taq.NewUniverse(jr.Symbols)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Universe: uni, Levels: jr.Levels, Days: jr.Days, TradeCount: jr.TradeCount}
+	for _, name := range jr.Types {
+		t, err := corr.ParseType(name)
+		if err != nil {
+			return nil, err
+		}
+		res.Types = append(res.Types, t)
+	}
+	if len(jr.Series) != uni.NumPairs() {
+		return nil, fmt.Errorf("backtest: %d pair series for %d pairs", len(jr.Series), uni.NumPairs())
+	}
+	wantParams := len(jr.Levels) * len(jr.Types)
+	res.Series = make([][]metrics.PairParamSeries, len(jr.Series))
+	for p := range jr.Series {
+		if len(jr.Series[p]) != wantParams {
+			return nil, fmt.Errorf("backtest: pair %d has %d param series, want %d", p, len(jr.Series[p]), wantParams)
+		}
+		res.Series[p] = make([]metrics.PairParamSeries, wantParams)
+		for k := range jr.Series[p] {
+			res.Series[p][k] = metrics.PairParamSeries{Daily: jr.Series[p][k].Daily}
+		}
+	}
+	return res, nil
+}

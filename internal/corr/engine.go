@@ -1,0 +1,355 @@
+package corr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"marketminer/internal/taq"
+)
+
+// EngineConfig configures the sliding-window correlation engine.
+type EngineConfig struct {
+	// Type selects the measure (the Ctype treatment).
+	Type Type
+	// M is the window length in intervals: "two vectors Xi(s) and
+	// Xj(s), containing the last M log-returns".
+	M int
+	// Workers is the degree of parallelism; ≤ 0 means GOMAXPROCS.
+	// This is the Go analogue of the MPI world size in the original
+	// MarketMiner correlation engine.
+	Workers int
+	// Maronna tunes the robust estimator (used by Maronna and
+	// Combined); the zero value means DefaultMaronnaConfig.
+	Maronna MaronnaConfig
+	// Pairs optionally restricts computation to a subset of pairs
+	// (canonical ids). Nil means all n(n-1)/2 pairs.
+	Pairs []int
+	// RepairPSD, when set, shrinks each online matrix toward the
+	// identity until it passes a Cholesky test. Per-pair Maronna
+	// estimates do not form a PSD matrix (the defect the paper calls
+	// out in its Matlab Approach 2); repair costs O(n³) per matrix
+	// and only affects OnlineEngine output.
+	RepairPSD bool
+}
+
+func (c *EngineConfig) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c *EngineConfig) maronna() MaronnaConfig {
+	if c.Maronna == (MaronnaConfig{}) {
+		return DefaultMaronnaConfig()
+	}
+	return c.Maronna
+}
+
+// Series holds per-pair correlation time series over one trading day:
+// Corr[k][t] is the coefficient of pair Pairs[k] at grid interval
+// FirstS + t. It is the dataset the paper's Matlab Approach 1 tried to
+// reconstruct from 680 dumped matrices per day and ran out of memory.
+type Series struct {
+	Type   Type
+	M      int
+	FirstS int   // grid interval of the first coefficient (= M)
+	Pairs  []int // canonical pair ids, ascending
+	N      int   // universe order
+	Corr   [][]float64
+}
+
+// Len returns the number of intervals covered.
+func (s *Series) Len() int {
+	if len(s.Corr) == 0 {
+		return 0
+	}
+	return len(s.Corr[0])
+}
+
+// PairSeries returns the coefficient series for a canonical pair id,
+// or nil if the pair was not computed.
+func (s *Series) PairSeries(pairID int) []float64 {
+	for k, id := range s.Pairs {
+		if id == pairID {
+			return s.Corr[k]
+		}
+	}
+	return nil
+}
+
+// ComputeSeries runs the engine over one day of log-returns.
+// returns[i][u] is stock i's log-return at return index u (grid
+// interval u+1); all rows must have equal length T ≥ M. The resulting
+// Series covers grid intervals M .. T (inclusive), i.e. T−M+1 values
+// per pair.
+//
+// Pairs are sharded across workers exactly as MarketMiner sharded them
+// across MPI ranks; Pearson uses an O(1)-per-step rolling update while
+// the robust measures re-estimate each window (they are not
+// incrementally updatable, which is why the paper calls them
+// "computationally expensive and thus not commonly used").
+func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
+	n := len(returns)
+	if n < 2 {
+		return nil, errors.New("corr: need at least 2 stocks")
+	}
+	T := len(returns[0])
+	for i, row := range returns {
+		if len(row) != T {
+			return nil, fmt.Errorf("corr: stock %d has %d returns, want %d", i, len(row), T)
+		}
+	}
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("corr: window M=%d too small", cfg.M)
+	}
+	if T < cfg.M {
+		return nil, fmt.Errorf("corr: %d returns < window M=%d", T, cfg.M)
+	}
+	for i, row := range returns {
+		for u, x := range row {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("corr: stock %d has non-finite return at %d", i, u)
+			}
+		}
+	}
+
+	pairs := cfg.Pairs
+	if pairs == nil {
+		pairs = make([]int, n*(n-1)/2)
+		for i := range pairs {
+			pairs[i] = i
+		}
+	}
+	steps := T - cfg.M + 1
+	out := &Series{Type: cfg.Type, M: cfg.M, FirstS: cfg.M, Pairs: pairs, N: n, Corr: make([][]float64, len(pairs))}
+	for k := range out.Corr {
+		out.Corr[k] = make([]float64, steps)
+	}
+
+	allPairs := taq.AllPairs(n)
+	workers := cfg.workers()
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			computePairRange(cfg, returns, allPairs, pairs, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// computePairRange fills out.Corr[lo:hi].
+func computePairRange(cfg EngineConfig, returns [][]float64, allPairs []taq.Pair, pairs []int, out *Series, lo, hi int) {
+	m := cfg.M
+	T := len(returns[0])
+	switch cfg.Type {
+	case Pearson:
+		for k := lo; k < hi; k++ {
+			p := allPairs[pairs[k]]
+			rollingPearson(returns[p.I], returns[p.J], m, out.Corr[k])
+		}
+	case Maronna:
+		est := NewMaronnaEstimator(cfg.maronna())
+		var sc *Scratch
+		for k := lo; k < hi; k++ {
+			p := allPairs[pairs[k]]
+			x, y := returns[p.I], returns[p.J]
+			for t := 0; t+m <= T; t++ {
+				out.Corr[k][t], sc = est.CorrScratch(x[t:t+m], y[t:t+m], sc)
+			}
+		}
+	case Combined:
+		est := NewCombinedEstimator(cfg.maronna())
+		var sc *Scratch
+		for k := lo; k < hi; k++ {
+			p := allPairs[pairs[k]]
+			x, y := returns[p.I], returns[p.J]
+			for t := 0; t+m <= T; t++ {
+				out.Corr[k][t], sc = est.CorrScratch(x[t:t+m], y[t:t+m], sc)
+			}
+		}
+	}
+}
+
+// rollingPearson fills dst[t] with the Pearson correlation of
+// x[t:t+m], y[t:t+m] using O(1) sliding-window updates.
+func rollingPearson(x, y []float64, m int, dst []float64) {
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < m; i++ {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	fm := float64(m)
+	emit := func(t int) {
+		vx := sxx - sx*sx/fm
+		vy := syy - sy*sy/fm
+		if vx <= 0 || vy <= 0 {
+			dst[t] = 0
+			return
+		}
+		dst[t] = clampCorr((sxy - sx*sy/fm) / math.Sqrt(vx*vy))
+	}
+	emit(0)
+	for t := 1; t+m <= len(x); t++ {
+		ox, oy := x[t-1], y[t-1]
+		nx, ny := x[t+m-1], y[t+m-1]
+		sx += nx - ox
+		sy += ny - oy
+		sxx += nx*nx - ox*ox
+		syy += ny*ny - oy*oy
+		sxy += nx*ny - ox*oy
+		emit(t)
+	}
+}
+
+// OnlineEngine is the streaming form used by the Figure-1 pipeline: it
+// ingests one cross-sectional return vector per grid interval and, once
+// M vectors have arrived, produces the full correlation matrix of the
+// trailing window after every push — "large correlation matrices in an
+// online fashion".
+type OnlineEngine struct {
+	cfg     EngineConfig
+	n       int
+	windows [][]float64 // ring buffers, one per stock
+	head    int
+	count   int
+	scratch [][]float64 // contiguous window copies, one per stock
+	pool    []*Scratch  // per-worker robust scratch
+}
+
+// NewOnlineEngine builds a streaming engine over an n-stock universe.
+func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
+	if n < 2 {
+		return nil, errors.New("corr: need at least 2 stocks")
+	}
+	if cfg.M < 2 {
+		return nil, fmt.Errorf("corr: window M=%d too small", cfg.M)
+	}
+	e := &OnlineEngine{cfg: cfg, n: n}
+	e.windows = make([][]float64, n)
+	e.scratch = make([][]float64, n)
+	for i := range e.windows {
+		e.windows[i] = make([]float64, cfg.M)
+		e.scratch[i] = make([]float64, cfg.M)
+	}
+	e.pool = make([]*Scratch, cfg.workers())
+	for i := range e.pool {
+		e.pool[i] = &Scratch{}
+	}
+	return e, nil
+}
+
+// Ready reports whether M vectors have been pushed.
+func (e *OnlineEngine) Ready() bool { return e.count >= e.cfg.M }
+
+// Push ingests the return vector for one interval (len n). It returns
+// the correlation matrix of the trailing M-interval window, or nil
+// while the window is still warming up.
+func (e *OnlineEngine) Push(rets []float64) (*Matrix, error) {
+	if len(rets) != e.n {
+		return nil, fmt.Errorf("corr: vector length %d, want %d", len(rets), e.n)
+	}
+	for i, x := range rets {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("corr: non-finite return for stock %d", i)
+		}
+		e.windows[i][e.head] = x
+	}
+	e.head = (e.head + 1) % e.cfg.M
+	if e.count < e.cfg.M {
+		e.count++
+	}
+	if !e.Ready() {
+		return nil, nil
+	}
+	// Unroll the rings into contiguous scratch, oldest first.
+	for i := range e.windows {
+		w := e.windows[i]
+		s := e.scratch[i]
+		k := copy(s, w[e.head:])
+		copy(s[k:], w[:e.head])
+	}
+	m := e.matrix()
+	if e.cfg.RepairPSD {
+		m, _, _ = EnsurePSD(m, 1e-10)
+	}
+	return m, nil
+}
+
+// matrix computes all pairwise coefficients of the current scratch
+// windows in parallel.
+func (e *OnlineEngine) matrix() *Matrix {
+	m := NewMatrix(e.n)
+	pairs := taq.AllPairs(e.n)
+	workers := len(e.pool)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sc := e.pool[w]
+			switch e.cfg.Type {
+			case Pearson:
+				for k := lo; k < hi; k++ {
+					p := pairs[k]
+					m.SetPair(k, PearsonCorr(e.scratch[p.I], e.scratch[p.J]))
+				}
+			case Maronna:
+				est := NewMaronnaEstimator(e.cfg.maronna())
+				for k := lo; k < hi; k++ {
+					p := pairs[k]
+					var c float64
+					c, sc = est.CorrScratch(e.scratch[p.I], e.scratch[p.J], sc)
+					m.SetPair(k, c)
+				}
+			case Combined:
+				est := NewCombinedEstimator(e.cfg.maronna())
+				for k := lo; k < hi; k++ {
+					p := pairs[k]
+					var c float64
+					c, sc = est.CorrScratch(e.scratch[p.I], e.scratch[p.J], sc)
+					m.SetPair(k, c)
+				}
+			}
+			e.pool[w] = sc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,381 @@
+package corr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"marketminer/internal/taq"
+)
+
+// syntheticReturns builds n stocks × T returns where stocks 0 and 1
+// share a common factor (high correlation) and the rest are noise.
+func syntheticReturns(seed int64, n, T int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rets := make([][]float64, n)
+	for i := range rets {
+		rets[i] = make([]float64, T)
+	}
+	for t := 0; t < T; t++ {
+		f := rng.NormFloat64()
+		for i := 0; i < n; i++ {
+			eps := rng.NormFloat64()
+			switch i {
+			case 0:
+				rets[i][t] = f + 0.2*eps
+			case 1:
+				rets[i][t] = f + 0.25*eps
+			default:
+				rets[i][t] = eps
+			}
+		}
+	}
+	return rets
+}
+
+func TestComputeSeriesShape(t *testing.T) {
+	rets := syntheticReturns(1, 4, 120)
+	s, err := ComputeSeries(EngineConfig{Type: Pearson, M: 50}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstS != 50 {
+		t.Errorf("FirstS = %d", s.FirstS)
+	}
+	if len(s.Pairs) != 6 {
+		t.Errorf("pairs = %d, want 6", len(s.Pairs))
+	}
+	if s.Len() != 120-50+1 {
+		t.Errorf("Len = %d, want 71", s.Len())
+	}
+}
+
+func TestComputeSeriesMatchesDirectPearson(t *testing.T) {
+	rets := syntheticReturns(2, 3, 90)
+	s, err := ComputeSeries(EngineConfig{Type: Pearson, M: 30, Workers: 2}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the rolling computation against the direct form at
+	// several offsets for every pair.
+	pairs := taq.AllPairs(3)
+	for k, p := range pairs {
+		for _, tt := range []int{0, 1, 17, 60} {
+			want := PearsonCorr(rets[p.I][tt:tt+30], rets[p.J][tt:tt+30])
+			got := s.Corr[k][tt]
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("pair %v offset %d: rolling %v direct %v", p, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestComputeSeriesDetectsCorrelatedPair(t *testing.T) {
+	rets := syntheticReturns(3, 5, 300)
+	for _, ty := range Types() {
+		s, err := ComputeSeries(EngineConfig{Type: ty, M: 60}, rets)
+		if err != nil {
+			t.Fatalf("%v: %v", ty, err)
+		}
+		pid01 := taq.PairID(0, 1, 5)
+		series01 := s.PairSeries(pid01)
+		mean01 := mean(series01)
+		if mean01 < 0.8 {
+			t.Errorf("%v: factor pair mean corr = %v, want > 0.8", ty, mean01)
+		}
+		// An unrelated pair should hover near zero.
+		pid23 := taq.PairID(2, 3, 5)
+		if m := mean(s.PairSeries(pid23)); math.Abs(m) > 0.25 {
+			t.Errorf("%v: noise pair mean corr = %v, want ≈ 0", ty, m)
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}
+
+func TestComputeSeriesWorkerInvariance(t *testing.T) {
+	rets := syntheticReturns(4, 6, 150)
+	for _, ty := range Types() {
+		s1, err := ComputeSeries(EngineConfig{Type: ty, M: 40, Workers: 1}, rets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := ComputeSeries(EngineConfig{Type: ty, M: 40, Workers: 8}, rets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range s1.Corr {
+			for u := range s1.Corr[k] {
+				if s1.Corr[k][u] != s8.Corr[k][u] {
+					t.Fatalf("%v: worker count changed result at pair %d step %d", ty, k, u)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeSeriesPairSubset(t *testing.T) {
+	rets := syntheticReturns(5, 5, 100)
+	want := []int{taq.PairID(0, 1, 5), taq.PairID(2, 4, 5)}
+	s, err := ComputeSeries(EngineConfig{Type: Pearson, M: 30, Pairs: want}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Corr) != 2 {
+		t.Fatalf("computed %d pair series, want 2", len(s.Corr))
+	}
+	if s.PairSeries(want[1]) == nil {
+		t.Error("requested pair missing")
+	}
+	if s.PairSeries(taq.PairID(0, 2, 5)) != nil {
+		t.Error("unrequested pair present")
+	}
+}
+
+func TestComputeSeriesErrors(t *testing.T) {
+	good := syntheticReturns(6, 3, 50)
+	if _, err := ComputeSeries(EngineConfig{Type: Pearson, M: 10}, good[:1]); err == nil {
+		t.Error("single stock should error")
+	}
+	ragged := [][]float64{make([]float64, 50), make([]float64, 49)}
+	if _, err := ComputeSeries(EngineConfig{Type: Pearson, M: 10}, ragged); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := ComputeSeries(EngineConfig{Type: Pearson, M: 1}, good); err == nil {
+		t.Error("M<2 should error")
+	}
+	if _, err := ComputeSeries(EngineConfig{Type: Pearson, M: 51}, good); err == nil {
+		t.Error("window longer than data should error")
+	}
+	bad := syntheticReturns(7, 3, 50)
+	bad[1][10] = math.NaN()
+	if _, err := ComputeSeries(EngineConfig{Type: Pearson, M: 10}, bad); err == nil {
+		t.Error("NaN return should error")
+	}
+}
+
+func TestOnlineEngineMatchesBatch(t *testing.T) {
+	n, T, m := 4, 80, 25
+	rets := syntheticReturns(8, n, T)
+	batch, err := ComputeSeries(EngineConfig{Type: Pearson, M: m}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewOnlineEngine(EngineConfig{Type: Pearson, M: m, Workers: 3}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, n)
+	step := 0
+	for u := 0; u < T; u++ {
+		for i := 0; i < n; i++ {
+			vec[i] = rets[i][u]
+		}
+		mx, err := eng.Push(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u < m-1 {
+			if mx != nil {
+				t.Fatalf("matrix emitted during warmup at u=%d", u)
+			}
+			continue
+		}
+		if mx == nil {
+			t.Fatalf("no matrix at u=%d", u)
+		}
+		for k := range batch.Pairs {
+			if math.Abs(mx.AtPair(k)-batch.Corr[k][step]) > 1e-9 {
+				t.Fatalf("online/batch mismatch at step %d pair %d: %v vs %v",
+					step, k, mx.AtPair(k), batch.Corr[k][step])
+			}
+		}
+		step++
+	}
+	if step != batch.Len() {
+		t.Errorf("online produced %d matrices, batch has %d", step, batch.Len())
+	}
+}
+
+func TestOnlineEngineMaronna(t *testing.T) {
+	n, m := 3, 20
+	eng, err := NewOnlineEngine(EngineConfig{Type: Maronna, M: m}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var last *Matrix
+	for u := 0; u < 40; u++ {
+		f := rng.NormFloat64()
+		vec := []float64{f + 0.1*rng.NormFloat64(), f + 0.1*rng.NormFloat64(), rng.NormFloat64()}
+		last, err = eng.Push(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last == nil {
+		t.Fatal("no matrix produced")
+	}
+	if c := last.At(0, 1); c < 0.8 {
+		t.Errorf("factor pair corr = %v, want high", c)
+	}
+	if err := last.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnlineEngineErrors(t *testing.T) {
+	if _, err := NewOnlineEngine(EngineConfig{Type: Pearson, M: 10}, 1); err == nil {
+		t.Error("n<2 should error")
+	}
+	if _, err := NewOnlineEngine(EngineConfig{Type: Pearson, M: 1}, 3); err == nil {
+		t.Error("M<2 should error")
+	}
+	eng, _ := NewOnlineEngine(EngineConfig{Type: Pearson, M: 5}, 3)
+	if _, err := eng.Push([]float64{1, 2}); err == nil {
+		t.Error("wrong vector length should error")
+	}
+	if _, err := eng.Push([]float64{1, math.NaN(), 2}); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(4)
+	if m.Order() != 4 || m.NumPairs() != 6 {
+		t.Fatalf("order=%d pairs=%d", m.Order(), m.NumPairs())
+	}
+	m.Set(1, 3, 0.5)
+	if m.At(1, 3) != 0.5 || m.At(3, 1) != 0.5 {
+		t.Error("symmetric access broken")
+	}
+	if m.At(2, 2) != 1 {
+		t.Error("diagonal should be 1")
+	}
+	m.Set(2, 2, 9) // no-op
+	if m.At(2, 2) != 1 {
+		t.Error("diagonal must be immutable")
+	}
+	cl := m.Clone()
+	cl.Set(1, 3, -0.5)
+	if m.At(1, 3) != 0.5 {
+		t.Error("Clone must not share storage")
+	}
+	if len(m.Values()) != 6 {
+		t.Error("Values length wrong")
+	}
+}
+
+func TestMatrixPSD(t *testing.T) {
+	// Identity is PSD.
+	if !NewMatrix(5).IsPSD(1e-12) {
+		t.Error("identity should be PSD")
+	}
+	// A valid equicorrelation matrix (rho=0.5, n=3) is PSD.
+	m := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			m.Set(i, j, 0.5)
+		}
+	}
+	if !m.IsPSD(1e-12) {
+		t.Error("equicorrelation 0.5 should be PSD")
+	}
+	// rho = -0.9 equicorrelation of order 3 is NOT PSD
+	// (min eigenvalue 1 + 2·rho = -0.8).
+	bad := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			bad.Set(i, j, -0.9)
+		}
+	}
+	if bad.IsPSD(1e-12) {
+		t.Error("equicorrelation -0.9 should not be PSD")
+	}
+}
+
+func TestEnsurePSDRepairs(t *testing.T) {
+	bad := NewMatrix(3)
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			bad.Set(i, j, -0.9)
+		}
+	}
+	fixed, lambda, err := EnsurePSD(bad, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda <= 0 {
+		t.Error("repair should report λ > 0")
+	}
+	if !fixed.IsPSD(1e-9) {
+		t.Error("repaired matrix not PSD")
+	}
+	// Repair must preserve sign and ordering.
+	if fixed.At(0, 1) >= 0 {
+		t.Error("repair flipped the sign")
+	}
+	// Already-PSD input is returned unchanged with λ=0.
+	id := NewMatrix(4)
+	same, lambda, err := EnsurePSD(id, 1e-12)
+	if err != nil || lambda != 0 || same != id {
+		t.Errorf("PSD input should be identity-repaired: %v %v", lambda, err)
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(0, 1, 0.3)
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	m.Set(0, 2, math.NaN())
+	if err := m.Validate(); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+	m.Set(0, 2, 1.5)
+	if err := m.Validate(); err == nil {
+		t.Error("out-of-range coefficient accepted")
+	}
+}
+
+func TestOnlineEngineRepairPSD(t *testing.T) {
+	n, m := 5, 12
+	eng, err := NewOnlineEngine(EngineConfig{Type: Maronna, M: m, RepairPSD: true}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	var last *Matrix
+	for u := 0; u < 30; u++ {
+		vec := make([]float64, n)
+		f := rng.NormFloat64()
+		for i := range vec {
+			vec[i] = 0.5*f + rng.NormFloat64()
+			// Occasional gross outliers stress the robust estimator
+			// into non-PSD territory when estimated pairwise.
+			if rng.Float64() < 0.08 {
+				vec[i] *= 20
+			}
+		}
+		last, err = eng.Push(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != nil && !last.IsPSD(1e-8) {
+			t.Fatalf("repaired matrix at step %d is not PSD", u)
+		}
+	}
+	if last == nil {
+		t.Fatal("no matrix produced")
+	}
+}

@@ -1,0 +1,58 @@
+package corr
+
+import "sort"
+
+// Spearman rank correlation is an extension measure beyond the paper's
+// three treatments (its future work calls for "determining the
+// characteristics of each correlation measure"; rank correlation is
+// the natural next candidate because it is robust to monotone
+// distortions and heavy tails without iteration). It is exposed as an
+// Estimator so the engine and the ablation benches can sweep it
+// alongside Pearson/Maronna/Combined, but it is not part of Types()
+// and does not participate in the paper's Tables III–V reproduction.
+
+// SpearmanType is the extension measure's Type value. It deliberately
+// sits outside Types() so the paper's treatment set stays faithful.
+const SpearmanType Type = 100
+
+// SpearmanEstimator computes Spearman's ρ: the Pearson correlation of
+// the ranks, with average ranks for ties. Safe for concurrent use.
+type SpearmanEstimator struct{}
+
+// Type implements Estimator.
+func (SpearmanEstimator) Type() Type { return SpearmanType }
+
+// Corr implements Estimator.
+func (SpearmanEstimator) Corr(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	return PearsonCorr(rx, ry)
+}
+
+// ranks returns the 1-based average ranks of xs.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average rank for the tie group [i, j].
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package corr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpearmanPerfectMonotone(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	// Any monotone transform has ρ = 1.
+	y := []float64{1, 8, 27, 64, 125}
+	if c := (SpearmanEstimator{}).Corr(x, y); math.Abs(c-1) > 1e-12 {
+		t.Errorf("Spearman(monotone) = %v, want 1", c)
+	}
+	yd := []float64{10, 8, 5, 2, -3}
+	if c := (SpearmanEstimator{}).Corr(x, yd); math.Abs(c+1) > 1e-12 {
+		t.Errorf("Spearman(antitone) = %v, want -1", c)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties, average ranks: x = {1,2,2,3} → ranks {1, 2.5, 2.5, 4}.
+	r := ranks([]float64{1, 2, 2, 3})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestSpearmanOutlierResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x, y := bivariate(rng, 300, 0.9)
+	x[0], y[0] = 1e6, -1e6 // one catastrophic outlier
+	pc := PearsonCorr(x, y)
+	sc := (SpearmanEstimator{}).Corr(x, y)
+	if sc < 0.8 {
+		t.Errorf("Spearman = %v, want ≈0.9 despite outlier", sc)
+	}
+	if pc > sc {
+		t.Errorf("Pearson (%v) should be more damaged than Spearman (%v)", pc, sc)
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	e := SpearmanEstimator{}
+	if e.Corr(nil, nil) != 0 {
+		t.Error("empty should give 0")
+	}
+	if e.Corr([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("mismatch should give 0")
+	}
+	if e.Corr([]float64{5, 5, 5}, []float64{1, 2, 3}) != 0 {
+		t.Error("constant should give 0")
+	}
+	if e.Type() != SpearmanType {
+		t.Error("Type wrong")
+	}
+}
+
+func TestSpearmanNotInPaperTreatments(t *testing.T) {
+	for _, ty := range Types() {
+		if ty == SpearmanType {
+			t.Error("Spearman must not be part of the paper's treatment set")
+		}
+	}
+}
+
+func TestSpearmanBoundedProperty(t *testing.T) {
+	e := SpearmanEstimator{}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 3
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		c := e.Corr(x, y)
+		if math.IsNaN(c) || c < -1 || c > 1 {
+			return false
+		}
+		// Invariance under strictly monotone transform of x.
+		tx := make([]float64, n)
+		for i := range x {
+			tx[i] = math.Exp(x[i])
+		}
+		return math.Abs(e.Corr(tx, y)-c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

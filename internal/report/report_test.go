@@ -1,0 +1,126 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
+	"marketminer/internal/stats"
+)
+
+func sampleAggs() []backtest.Aggregate {
+	mk := func(t corr.Type, vals []float64) backtest.Aggregate {
+		a := backtest.Aggregate{Type: t, PerPair: vals}
+		a.Stats = stats.DescribeSample(vals)
+		bp, _ := stats.BoxPlotStats(vals)
+		a.Box = bp
+		return a
+	}
+	return []backtest.Aggregate{
+		mk(corr.Maronna, []float64{1.10, 1.15, 1.12, 1.30}),
+		mk(corr.Pearson, []float64{1.11, 1.16, 1.13, 1.20}),
+		mk(corr.Combined, []float64{1.09, 1.11, 1.10, 1.12}),
+	}
+}
+
+func TestTableIIIContainsAllColumnsAndRows(t *testing.T) {
+	s := TableIII(sampleAggs())
+	for _, want := range []string{"TABLE III", "Maronna", "Pearson", "Combined",
+		"Mean", "Median", "Standard Deviation", "Sharpe Ratio", "Skewness", "Kurtosis"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("TableIII missing %q:\n%s", want, s)
+		}
+	}
+	// Mean of the Maronna column is 1.1675.
+	if !strings.Contains(s, "1.1675") {
+		t.Errorf("TableIII missing expected mean value:\n%s", s)
+	}
+}
+
+func TestTableIVUsesPercent(t *testing.T) {
+	aggs := sampleAggs()
+	for i := range aggs {
+		for j := range aggs[i].PerPair {
+			aggs[i].PerPair[j] = 0.015 // 1.5% drawdowns
+		}
+		aggs[i].Stats = stats.DescribeSample(aggs[i].PerPair)
+	}
+	s := TableIV(aggs)
+	if !strings.Contains(s, "%") {
+		t.Errorf("TableIV should format percentages:\n%s", s)
+	}
+	if !strings.Contains(s, "1.5000%") {
+		t.Errorf("TableIV missing percent value:\n%s", s)
+	}
+	if strings.Contains(s, "Sharpe") {
+		t.Error("TableIV should not contain a Sharpe row (paper)")
+	}
+}
+
+func TestTableV(t *testing.T) {
+	s := TableV(sampleAggs())
+	if !strings.Contains(s, "TABLE V") || !strings.Contains(s, "WIN-LOSS") {
+		t.Errorf("TableV header wrong:\n%s", s)
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	s := Figure2("Monthly Returns", sampleAggs())
+	for _, want := range []string{"FIGURE 2", "Monthly Returns", "Median", "Q1", "Q3", "Whisker", "Outliers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Figure2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExtrapolationPaperNumbers(t *testing.T) {
+	// The paper's own arithmetic: 1830 pairs × 20 days × 42 sets at
+	// 2 s/unit ≈ 854 hours.
+	e := Extrapolation{UnitSeconds: 2, Pairs: 1830, Days: 20, Sets: 42}
+	if h := e.MonthHours(); math.Abs(h-854) > 1 {
+		t.Errorf("MonthHours = %v, paper says 854", h)
+	}
+	// Year: 1830 × 252 × 42 × 2s ≈ 448 days (paper: ~445).
+	if d := e.YearDays(); math.Abs(d-448) > 5 {
+		t.Errorf("YearDays = %v, paper says ≈445", d)
+	}
+	// 1000 stocks (499500 pairs), one month. The paper reports
+	// "19425 days, or 53 years", but its own inputs (2 s × 499500
+	// pairs × 20 days × 42 sets) give 9712.5 days ≈ 26.6 years — the
+	// paper's figure carries a stray factor of 2. We reproduce the
+	// self-consistent arithmetic.
+	if y := e.ThousandStockYears(); math.Abs(y-26.6) > 0.5 {
+		t.Errorf("ThousandStockYears = %v, want ≈26.6 (self-consistent form of the paper's 53)", y)
+	}
+	s := e.String()
+	for _, want := range []string{"854", "445", "SECTION IV"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Extrapolation text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	s := SpeedupTable("approaches", []Speedup{
+		{Name: "sequential", Seconds: 100},
+		{Name: "integrated", Seconds: 10},
+	})
+	if !strings.Contains(s, "10.00x") {
+		t.Errorf("speedup not computed:\n%s", s)
+	}
+	if !strings.Contains(s, "sequential") || !strings.Contains(s, "integrated") {
+		t.Errorf("rows missing:\n%s", s)
+	}
+	if got := SpeedupTable("empty", nil); !strings.Contains(got, "empty") {
+		t.Error("empty table should still print title")
+	}
+}
+
+func TestSpeedupZeroGuard(t *testing.T) {
+	s := SpeedupTable("t", []Speedup{{Name: "a", Seconds: 5}, {Name: "b", Seconds: 0}})
+	if !strings.Contains(s, "0.00x") {
+		t.Errorf("zero-seconds row should render 0.00x:\n%s", s)
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import "math"
+
+// This file provides the distributional diagnostics behind §III's
+// modelling assumptions: log-returns are used "in order to utilize
+// statistics which assume stationarity and normality", and Tables
+// III–V report skewness/kurtosis precisely because the return
+// populations are *not* normal. JarqueBera quantifies that departure;
+// Autocorrelation quantifies departures from the i.i.d. assumption the
+// sliding-window correlations rely on.
+
+// JarqueBera returns the Jarque–Bera statistic of xs,
+// JB = n/6·(S² + (K−3)²/4), where S is the sample skewness and K the
+// (non-excess) kurtosis. Under normality JB is asymptotically χ²(2);
+// values far above ~6 reject normality at the 5% level. Returns 0 for
+// samples of size < 4 or zero variance.
+func JarqueBera(xs []float64) float64 {
+	n := float64(len(xs))
+	if n < 4 {
+		return 0
+	}
+	s := Skewness(xs)
+	k := Kurtosis(xs)
+	if s == 0 && k == 0 {
+		return 0
+	}
+	return n / 6 * (s*s + (k-3)*(k-3)/4)
+}
+
+// JarqueBeraNormal reports whether xs is consistent with normality at
+// the 5% level (JB < 5.99, the χ²(2) critical value).
+func JarqueBeraNormal(xs []float64) bool {
+	return JarqueBera(xs) < 5.991464547107979
+}
+
+// Autocorrelation returns the lag-k sample autocorrelation of xs,
+// using the biased (n-denominator) estimator standard in time-series
+// practice. It returns 0 when the lag is out of range or the variance
+// is zero.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag <= 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := lag; i < n; i++ {
+		num += (xs[i] - m) * (xs[i-lag] - m)
+	}
+	return num / den
+}
+
+// LjungBox returns the Ljung–Box Q statistic over the first maxLag
+// autocorrelations, Q = n(n+2)·Σ_{k=1..L} ρ̂_k²/(n−k). Under the null
+// of no autocorrelation Q is asymptotically χ²(L). Returns 0 for
+// samples shorter than maxLag+2.
+func LjungBox(xs []float64, maxLag int) float64 {
+	n := len(xs)
+	if maxLag < 1 || n < maxLag+2 {
+		return 0
+	}
+	fn := float64(n)
+	var q float64
+	for k := 1; k <= maxLag; k++ {
+		r := Autocorrelation(xs, k)
+		q += r * r / (fn - float64(k))
+	}
+	return fn * (fn + 2) * q
+}
+
+// HalfLife converts a lag-1 autocorrelation ρ of an AR(1)/OU process
+// into its mean-reversion half-life in steps, ln(0.5)/ln(ρ). It
+// returns +Inf for ρ ≥ 1 and 0 for ρ ≤ 0 — spreads with no positive
+// persistence have no meaningful half-life.
+func HalfLife(rho float64) float64 {
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	if rho <= 0 {
+		return 0
+	}
+	return math.Log(0.5) / math.Log(rho)
+}

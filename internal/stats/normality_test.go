@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJarqueBeraNormalSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	jb := JarqueBera(xs)
+	if jb > 8 {
+		t.Errorf("JB of normal sample = %v, want small", jb)
+	}
+	if !JarqueBeraNormal(xs) && jb >= 5.99 {
+		t.Logf("borderline JB = %v", jb) // tolerated: 5%-level test
+	}
+}
+
+func TestJarqueBeraRejectsFatTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if i%50 == 0 {
+			xs[i] *= 10 // heavy contamination
+		}
+	}
+	if JarqueBeraNormal(xs) {
+		t.Errorf("JB = %v failed to reject heavy-tailed sample", JarqueBera(xs))
+	}
+}
+
+func TestJarqueBeraDegenerate(t *testing.T) {
+	if JarqueBera([]float64{1, 2, 3}) != 0 {
+		t.Error("n<4 should give 0")
+	}
+	if JarqueBera([]float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant sample should give 0")
+	}
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for _, lag := range []int{1, 5, 20} {
+		if r := Autocorrelation(xs, lag); math.Abs(r) > 0.03 {
+			t.Errorf("white-noise ACF(%d) = %v, want ≈0", lag, r)
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const rho = 0.8
+	xs := make([]float64, 50000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = rho*xs[i-1] + rng.NormFloat64()
+	}
+	if r := Autocorrelation(xs, 1); math.Abs(r-rho) > 0.02 {
+		t.Errorf("AR(1) ACF(1) = %v, want %v", r, rho)
+	}
+	// ACF(2) ≈ ρ².
+	if r := Autocorrelation(xs, 2); math.Abs(r-rho*rho) > 0.03 {
+		t.Errorf("AR(1) ACF(2) = %v, want %v", r, rho*rho)
+	}
+}
+
+func TestAutocorrelationEdges(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	if Autocorrelation(xs, 0) != 0 || Autocorrelation(xs, 3) != 0 || Autocorrelation(xs, -1) != 0 {
+		t.Error("out-of-range lags should give 0")
+	}
+	if Autocorrelation([]float64{2, 2, 2}, 1) != 0 {
+		t.Error("constant series should give 0")
+	}
+}
+
+func TestLjungBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	white := make([]float64, 2000)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	// χ²(10) 95th percentile ≈ 18.3; allow generous headroom.
+	if q := LjungBox(white, 10); q > 30 {
+		t.Errorf("Ljung-Box on white noise = %v, want small", q)
+	}
+	ar := make([]float64, 2000)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.6*ar[i-1] + rng.NormFloat64()
+	}
+	if q := LjungBox(ar, 10); q < 100 {
+		t.Errorf("Ljung-Box on AR(1) = %v, want large", q)
+	}
+	if LjungBox(white, 0) != 0 || LjungBox(white[:5], 10) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+}
+
+func TestHalfLife(t *testing.T) {
+	if hl := HalfLife(0.5); math.Abs(hl-1) > 1e-12 {
+		t.Errorf("HalfLife(0.5) = %v, want 1", hl)
+	}
+	if !math.IsInf(HalfLife(1), 1) {
+		t.Error("ρ=1 should give +Inf")
+	}
+	if HalfLife(0) != 0 || HalfLife(-0.3) != 0 {
+		t.Error("ρ≤0 should give 0")
+	}
+	// ρ = 0.9 → half-life ≈ 6.58 steps.
+	if hl := HalfLife(0.9); math.Abs(hl-6.58) > 0.01 {
+		t.Errorf("HalfLife(0.9) = %v", hl)
+	}
+}

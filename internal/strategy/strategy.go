@@ -1,0 +1,294 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"marketminer/internal/portfolio"
+	"marketminer/internal/series"
+)
+
+// ExitReason records why a position was reversed.
+type ExitReason int
+
+// Exit reasons, §III step 5.
+const (
+	ExitRetracement ExitReason = iota
+	ExitHoldingPeriod
+	ExitEndOfDay
+	ExitStopLoss      // extension, off by default
+	ExitCorrReversion // extension, off by default
+)
+
+// String names the exit reason.
+func (r ExitReason) String() string {
+	switch r {
+	case ExitRetracement:
+		return "retracement"
+	case ExitHoldingPeriod:
+		return "holding-period"
+	case ExitEndOfDay:
+		return "end-of-day"
+	case ExitStopLoss:
+		return "stop-loss"
+	case ExitCorrReversion:
+		return "corr-reversion"
+	default:
+		return "unknown"
+	}
+}
+
+// Trade is one completed round-trip pair trade.
+type Trade struct {
+	Day          int
+	PairI, PairJ int // canonical universe indices, I < J
+	EntryS       int
+	ExitS        int
+	LongStock    int
+	ShortStock   int
+	LongSh       int
+	ShortSh      int
+	LongEntry    float64
+	ShortEntry   float64
+	LongExit     float64
+	ShortExit    float64
+	PnL          float64
+	Return       float64 // §III step 6: PnL / entry gross exposure
+	Reason       ExitReason
+}
+
+// Tracker is the per-(pair, parameter-set) strategy state machine. It
+// is fed one interval at a time — by the backtester sweeping a stored
+// day, or by the live Figure-1 pipeline as matrices stream out of the
+// correlation engine. The caller supplies C(s) and C̄(s); the tracker
+// owns divergence freshness, position state and exit logic.
+type Tracker struct {
+	p          Params
+	pairI      int
+	pairJ      int
+	day        int
+	pos        *portfolio.PairPosition
+	armed      bool // above the divergence band since the last entry
+	belowAge   int  // intervals since the divergence band was crossed
+	trades     []Trade
+	lastEntryS int
+}
+
+// NewTracker builds a tracker for one pair. pairI < pairJ is required.
+func NewTracker(p Params, pairI, pairJ, day int) (*Tracker, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if pairI >= pairJ {
+		return nil, fmt.Errorf("strategy: pair (%d,%d) not in canonical order", pairI, pairJ)
+	}
+	return &Tracker{p: p, pairI: pairI, pairJ: pairJ, day: day, armed: true, lastEntryS: -1}, nil
+}
+
+// Position returns the open position, or nil when flat.
+func (tr *Tracker) Position() *portfolio.PairPosition { return tr.pos }
+
+// Trades returns all completed trades so far.
+func (tr *Tracker) Trades() []Trade { return tr.trades }
+
+// Step advances the tracker to interval s with the current correlation
+// c = C(s) and its W-average cbar = C̄(s), against the day's price
+// grid. It returns a completed trade (nil if none) and any orders
+// generated this interval (entry or exit legs).
+func (tr *Tracker) Step(s int, c, cbar float64, pg *series.PriceGrid) (*Trade, []portfolio.Order) {
+	lastS := pg.Grid.SMax - 1
+
+	// Divergence bookkeeping (§III step 2): the coefficient has
+	// "diverged more than d% from C̄(s)" when C < C̄·(1−d). The
+	// divergence must be fresh — it must have begun within the last Y
+	// intervals — and each divergence episode triggers at most one
+	// entry (the tracker re-arms when C returns above the band).
+	band := cbar * (1 - tr.p.D)
+	below := c < band
+	if below {
+		tr.belowAge++
+	} else {
+		tr.belowAge = 0
+		tr.armed = true
+	}
+
+	if tr.pos != nil {
+		if reason, ok := tr.exitReason(s, c, cbar, band, lastS, pg); ok {
+			return tr.closePosition(s, reason, pg)
+		}
+		return nil, nil
+	}
+
+	// Entry (§III steps 2–5).
+	if !below || !tr.armed || tr.belowAge > tr.p.Y {
+		return nil, nil
+	}
+	if cbar <= tr.p.A {
+		return nil, nil // step 3: C̄ must exceed the trading threshold
+	}
+	if s > lastS-tr.p.ST {
+		return nil, nil // too close to the close to open
+	}
+	if s-tr.p.W < 0 || s-tr.p.RT+1 < 0 {
+		return nil, nil // lookbacks not yet available
+	}
+	pi, pj := pg.Price(tr.pairI, s), pg.Price(tr.pairJ, s)
+	if !(pi > 0) || !(pj > 0) || math.IsNaN(pi) || math.IsNaN(pj) {
+		return nil, nil
+	}
+	retI := series.PeriodReturn(pg, tr.pairI, s, tr.p.W)
+	retJ := series.PeriodReturn(pg, tr.pairJ, s, tr.p.W)
+	if math.IsNaN(retI) || math.IsNaN(retJ) || retI == retJ {
+		return nil, nil
+	}
+	spread, err := series.SpreadWindow(pg, tr.pairI, tr.pairJ, s, tr.p.RT)
+	if err != nil {
+		return nil, nil
+	}
+
+	// Step 3: long the under-performer, short the over-performer.
+	longI := retI < retJ
+	ni, nj := portfolio.ShareRatio(pi, pj, longI)
+
+	pos := &portfolio.PairPosition{Day: tr.day, EntryS: s}
+	if longI {
+		pos.LongStock, pos.ShortStock = tr.pairI, tr.pairJ
+		pos.LongSh, pos.ShortSh = ni, nj
+		pos.LongPx, pos.ShortPx = pi, pj
+	} else {
+		pos.LongStock, pos.ShortStock = tr.pairJ, tr.pairI
+		pos.LongSh, pos.ShortSh = nj, ni
+		pos.LongPx, pos.ShortPx = pj, pi
+	}
+
+	// Step 5: retracement level from the RT-window spread statistics.
+	se := pi - pj
+	pos.EntrySpread = se
+	if se <= spread.Avg {
+		pos.Retrace = spread.Low + tr.p.L*(spread.High-spread.Low)
+		pos.RetraceUp = true // reverse when the spread recovers upward
+	} else {
+		pos.Retrace = spread.High - tr.p.L*(spread.High-spread.Low)
+		pos.RetraceUp = false
+	}
+	tr.pos = pos
+	tr.armed = false // consume this divergence episode
+	tr.lastEntryS = s
+
+	return nil, []portfolio.Order{
+		{Day: tr.day, Interval: s, Stock: pos.LongStock, Side: portfolio.Buy, Shares: pos.LongSh, Price: pos.LongPx},
+		{Day: tr.day, Interval: s, Stock: pos.ShortStock, Side: portfolio.Sell, Shares: pos.ShortSh, Price: pos.ShortPx},
+	}
+}
+
+// exitReason evaluates §III step-5 reversal triggers in priority
+// order: stop-loss, correlation reversion, retracement, holding
+// period, end of day.
+func (tr *Tracker) exitReason(s int, c, cbar, band float64, lastS int, pg *series.PriceGrid) (ExitReason, bool) {
+	pos := tr.pos
+	if tr.p.StopLoss > 0 {
+		le := pg.Price(pos.LongStock, s)
+		se := pg.Price(pos.ShortStock, s)
+		if !math.IsNaN(le) && !math.IsNaN(se) && pos.Return(le, se) < -tr.p.StopLoss {
+			return ExitStopLoss, true
+		}
+	}
+	if tr.p.CorrReversion && c >= band && c < cbar {
+		return ExitCorrReversion, true
+	}
+	spread := pg.Spread(tr.pairI, tr.pairJ, s)
+	if !math.IsNaN(spread) {
+		if pos.RetraceUp && spread >= pos.Retrace {
+			return ExitRetracement, true
+		}
+		if !pos.RetraceUp && spread <= pos.Retrace {
+			return ExitRetracement, true
+		}
+	}
+	if s-pos.EntryS >= tr.p.HP {
+		return ExitHoldingPeriod, true
+	}
+	if s >= lastS {
+		return ExitEndOfDay, true
+	}
+	return 0, false
+}
+
+// closePosition reverses the open position at interval s.
+func (tr *Tracker) closePosition(s int, reason ExitReason, pg *series.PriceGrid) (*Trade, []portfolio.Order) {
+	pos := tr.pos
+	le := pg.Price(pos.LongStock, s)
+	se := pg.Price(pos.ShortStock, s)
+	if math.IsNaN(le) || math.IsNaN(se) || le <= 0 || se <= 0 {
+		// Cannot price the exit this interval; hold until we can
+		// (forward-filled grids make this transient at worst).
+		return nil, nil
+	}
+	t := Trade{
+		Day:        tr.day,
+		PairI:      tr.pairI,
+		PairJ:      tr.pairJ,
+		EntryS:     pos.EntryS,
+		ExitS:      s,
+		LongStock:  pos.LongStock,
+		ShortStock: pos.ShortStock,
+		LongSh:     pos.LongSh,
+		ShortSh:    pos.ShortSh,
+		LongEntry:  pos.LongPx,
+		ShortEntry: pos.ShortPx,
+		LongExit:   le,
+		ShortExit:  se,
+		PnL:        pos.PnL(le, se),
+		Return:     pos.Return(le, se),
+		Reason:     reason,
+	}
+	tr.trades = append(tr.trades, t)
+	tr.pos = nil
+	orders := []portfolio.Order{
+		{Day: tr.day, Interval: s, Stock: pos.LongStock, Side: portfolio.Sell, Shares: pos.LongSh, Price: le},
+		{Day: tr.day, Interval: s, Stock: pos.ShortStock, Side: portfolio.Buy, Shares: pos.ShortSh, Price: se},
+	}
+	return &tr.trades[len(tr.trades)-1], orders
+}
+
+// RunDay backtests one pair for one day. corrSeries[t] is C(firstS+t)
+// computed with window M; the tracker starts once the W-average is
+// defined and finishes at the last interval, closing any open position
+// (§III: "we should reverse all positions at the end of the trading
+// day"). It returns the completed trades.
+func RunDay(p Params, corrSeries []float64, firstS int, pg *series.PriceGrid, pairI, pairJ, day int) ([]Trade, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(corrSeries) < p.W {
+		return nil, errors.New("strategy: correlation series shorter than W")
+	}
+	tr, err := NewTracker(p, pairI, pairJ, day)
+	if err != nil {
+		return nil, err
+	}
+	lastS := pg.Grid.SMax - 1
+
+	// Rolling W-average of the correlation (§III step 1).
+	var sum float64
+	for t := 0; t < p.W-1; t++ {
+		sum += corrSeries[t]
+	}
+	for t := p.W - 1; t < len(corrSeries); t++ {
+		sum += corrSeries[t]
+		cbar := sum / float64(p.W)
+		s := firstS + t
+		if s > lastS {
+			break
+		}
+		tr.Step(s, corrSeries[t], cbar, pg)
+		sum -= corrSeries[t-p.W+1]
+	}
+	// Force end-of-day close if the series ended with an open position
+	// (can happen when the correlation series stops before lastS).
+	if tr.pos != nil {
+		tr.closePosition(lastS, ExitEndOfDay, pg)
+	}
+	return tr.trades, nil
+}

@@ -1,0 +1,454 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"marketminer/internal/corr"
+	"marketminer/internal/series"
+)
+
+// testParams uses small windows so scenarios stay readable.
+func testParams() Params {
+	p := DefaultParams()
+	p.M = 10
+	p.W = 5
+	p.Y = 3
+	p.D = 0.001
+	p.L = 1.0 / 3
+	p.RT = 5
+	p.HP = 50
+	p.ST = 5
+	return p
+}
+
+// makeGrid builds a 2-stock grid where stock 0 is flat at 100 and
+// stock 1 follows pj.
+func makeGrid(t *testing.T, pj func(s int) float64) *series.PriceGrid {
+	t.Helper()
+	g, err := series.NewGrid(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := make([]float64, g.SMax)
+	p1 := make([]float64, g.SMax)
+	for s := 0; s < g.SMax; s++ {
+		p0[s] = 100
+		p1[s] = pj(s)
+	}
+	return &series.PriceGrid{Grid: g, Prices: [][]float64{p0, p1}}
+}
+
+// dipRecover: stock 1 trades at 50, dips 10 intervals starting at
+// start, then recovers at the same rate.
+func dipRecover(start int) func(int) float64 {
+	return func(s int) float64 {
+		switch {
+		case s < start:
+			return 50
+		case s < start+10:
+			return 50 - 0.1*float64(s-start+1)
+		case s < start+20:
+			return 49 + 0.1*float64(s-start-9)
+		default:
+			return 50
+		}
+	}
+}
+
+// dipStay: dips and never recovers.
+func dipStay(start int) func(int) float64 {
+	return func(s int) float64 {
+		switch {
+		case s < start:
+			return 50
+		case s < start+10:
+			return 50 - 0.1*float64(s-start+1)
+		default:
+			return 49
+		}
+	}
+}
+
+// runScenario feeds the tracker constant cbar=0.9 and a correlation
+// that sits at 0.9 except inside [dipLo, dipHi) where it is 0.85.
+func runScenario(t *testing.T, p Params, pg *series.PriceGrid, from, to, dipLo, dipHi int) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(p, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := from; s <= to; s++ {
+		c := 0.9
+		if s >= dipLo && s < dipHi {
+			c = 0.85
+		}
+		tr.Step(s, c, 0.9, pg)
+	}
+	return tr
+}
+
+func TestEntryOnFreshDivergence(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	tr, err := NewTracker(p, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orders int
+	for s := 90; s <= 100; s++ {
+		c := 0.9
+		if s >= 100 {
+			c = 0.85
+		}
+		_, ords := tr.Step(s, c, 0.9, pg)
+		orders += len(ords)
+	}
+	pos := tr.Position()
+	if pos == nil {
+		t.Fatal("no position opened on fresh divergence")
+	}
+	if orders != 2 {
+		t.Errorf("entry emitted %d orders, want 2", orders)
+	}
+	// Stock 1 under-performed → long 1, short 0.
+	if pos.LongStock != 1 || pos.ShortStock != 0 {
+		t.Errorf("direction wrong: long=%d short=%d", pos.LongStock, pos.ShortStock)
+	}
+	// Short leg is the expensive stock: 1 share; long leg ceil(100/49.9)=3.
+	if pos.ShortSh != 1 || pos.LongSh != 3 {
+		t.Errorf("share ratio = %d:%d, want 1:3", pos.ShortSh, pos.LongSh)
+	}
+	if pos.EntryS != 100 {
+		t.Errorf("entry interval = %d, want 100", pos.EntryS)
+	}
+	// Slightly long basket.
+	if pos.NetEntry() < 0 {
+		t.Errorf("NetEntry = %v, want ≥ 0", pos.NetEntry())
+	}
+}
+
+func TestRetracementExitProfitable(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	tr := runScenario(t, p, pg, 90, 130, 100, 115)
+	trades := tr.Trades()
+	if len(trades) != 1 {
+		t.Fatalf("trades = %d, want 1", len(trades))
+	}
+	tt := trades[0]
+	if tt.Reason != ExitRetracement {
+		t.Errorf("reason = %v, want retracement", tt.Reason)
+	}
+	if tt.Return <= 0 {
+		t.Errorf("return = %v, want > 0 (bought the dip, spread retraced)", tt.Return)
+	}
+	if tt.ExitS <= tt.EntryS {
+		t.Errorf("exit %d not after entry %d", tt.ExitS, tt.EntryS)
+	}
+	if tr.Position() != nil {
+		t.Error("position still open after retracement")
+	}
+}
+
+func TestHoldingPeriodExit(t *testing.T) {
+	p := testParams()
+	p.HP = 10
+	pg := makeGrid(t, dipStay(100))
+	tr := runScenario(t, p, pg, 90, 200, 100, 200)
+	trades := tr.Trades()
+	if len(trades) != 1 {
+		t.Fatalf("trades = %d, want 1", len(trades))
+	}
+	if trades[0].Reason != ExitHoldingPeriod {
+		t.Errorf("reason = %v, want holding-period", trades[0].Reason)
+	}
+	if got := trades[0].ExitS - trades[0].EntryS; got != 10 {
+		t.Errorf("held %d intervals, want exactly HP=10", got)
+	}
+}
+
+func TestEndOfDayExit(t *testing.T) {
+	p := testParams()
+	p.HP = 500
+	pg := makeGrid(t, dipStay(760))
+	tr := runScenario(t, p, pg, 750, 779, 760, 780)
+	trades := tr.Trades()
+	if len(trades) != 1 {
+		t.Fatalf("trades = %d, want 1", len(trades))
+	}
+	tt := trades[0]
+	if tt.Reason != ExitEndOfDay {
+		t.Errorf("reason = %v, want end-of-day", tt.Reason)
+	}
+	if tt.ExitS != 779 {
+		t.Errorf("exit = %d, want 779 (last interval)", tt.ExitS)
+	}
+}
+
+func TestNoEntryTooCloseToClose(t *testing.T) {
+	p := testParams()
+	p.ST = 20
+	pg := makeGrid(t, dipStay(765))
+	tr := runScenario(t, p, pg, 750, 779, 765, 780)
+	if len(tr.Trades()) != 0 || tr.Position() != nil {
+		t.Error("entered a position within ST of the close")
+	}
+}
+
+func TestNoEntryBelowThresholdA(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	tr, _ := NewTracker(p, 0, 1, 0)
+	for s := 90; s <= 130; s++ {
+		c := 0.05
+		if s >= 100 && s < 115 {
+			c = 0.02
+		}
+		tr.Step(s, c, 0.05, pg) // cbar = 0.05 ≤ A = 0.1
+	}
+	if len(tr.Trades()) != 0 || tr.Position() != nil {
+		t.Error("traded despite C̄ ≤ A")
+	}
+}
+
+func TestStaleDivergenceIgnored(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipStay(80))
+	tr, _ := NewTracker(p, 0, 1, 0)
+	// Divergence from s=90 onward, but cbar ≤ A until s=100: by the
+	// time trading is allowed, the divergence is Y-stale.
+	for s := 90; s <= 200; s++ {
+		cbar := 0.05
+		if s >= 100 {
+			cbar = 0.9
+		}
+		tr.Step(s, 0.85, cbar, pg)
+	}
+	if len(tr.Trades()) != 0 || tr.Position() != nil {
+		t.Error("entered on a divergence older than Y intervals")
+	}
+}
+
+func TestReArmRequiresRecovery(t *testing.T) {
+	p := testParams()
+	p.HP = 2 // exit fast so re-entry opportunity exists
+	pg := makeGrid(t, dipStay(100))
+	tr, _ := NewTracker(p, 0, 1, 0)
+	step := func(s int, c float64) { tr.Step(s, c, 0.9, pg) }
+	for s := 90; s < 100; s++ {
+		step(s, 0.9)
+	}
+	// First divergence episode: entry at 100, HP exit at 102.
+	for s := 100; s <= 106; s++ {
+		step(s, 0.85)
+	}
+	if n := len(tr.Trades()); n != 1 {
+		t.Fatalf("trades after first episode = %d, want 1 (no instant re-entry)", n)
+	}
+	// Recovery re-arms; a second dip triggers a second trade.
+	for s := 107; s <= 109; s++ {
+		step(s, 0.9)
+	}
+	for s := 110; s <= 115; s++ {
+		step(s, 0.85)
+	}
+	if n := len(tr.Trades()); n != 2 {
+		t.Errorf("trades after second episode = %d, want 2", n)
+	}
+}
+
+func TestStopLossExtension(t *testing.T) {
+	p := testParams()
+	p.StopLoss = 0.001
+	pg := makeGrid(t, dipStay(100))
+	tr := runScenario(t, p, pg, 90, 200, 100, 200)
+	trades := tr.Trades()
+	if len(trades) == 0 {
+		t.Fatal("no trades")
+	}
+	if trades[0].Reason != ExitStopLoss {
+		t.Errorf("reason = %v, want stop-loss", trades[0].Reason)
+	}
+	if trades[0].Return >= 0 {
+		t.Errorf("stop-loss trade return = %v, want < 0", trades[0].Return)
+	}
+}
+
+func TestCorrReversionExtension(t *testing.T) {
+	p := testParams()
+	p.CorrReversion = true
+	pg := makeGrid(t, dipStay(100))
+	tr, _ := NewTracker(p, 0, 1, 0)
+	for s := 90; s <= 200; s++ {
+		c := 0.9
+		switch {
+		case s >= 100 && s < 105:
+			c = 0.85 // divergence → entry
+		case s >= 105 && s < 110:
+			c = 0.8995 // back inside [C̄(1−d), C̄) → reversion exit
+		}
+		tr.Step(s, c, 0.9, pg)
+	}
+	trades := tr.Trades()
+	if len(trades) == 0 {
+		t.Fatal("no trades")
+	}
+	if trades[0].Reason != ExitCorrReversion {
+		t.Errorf("reason = %v, want corr-reversion", trades[0].Reason)
+	}
+	if trades[0].ExitS != 105 {
+		t.Errorf("exit = %d, want 105", trades[0].ExitS)
+	}
+}
+
+func TestRunDayEndToEnd(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	firstS := p.M
+	n := pg.Grid.SMax - firstS
+	cs := make([]float64, n)
+	for tix := range cs {
+		s := firstS + tix
+		cs[tix] = 0.9
+		if s >= 100 && s < 115 {
+			cs[tix] = 0.85
+		}
+	}
+	trades, err := RunDay(p, cs, firstS, pg, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trades) != 1 {
+		t.Fatalf("trades = %d, want 1", len(trades))
+	}
+	tt := trades[0]
+	if tt.Day != 3 {
+		t.Errorf("day = %d", tt.Day)
+	}
+	if tt.EntryS < 100 || tt.EntryS > 102 {
+		t.Errorf("entry = %d, want ≈100", tt.EntryS)
+	}
+	if tt.Reason != ExitRetracement || tt.Return <= 0 {
+		t.Errorf("trade = %+v, want profitable retracement", tt)
+	}
+}
+
+func TestRunDayErrors(t *testing.T) {
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	if _, err := RunDay(p, make([]float64, 2), p.M, pg, 0, 1, 0); err == nil {
+		t.Error("short corr series should error")
+	}
+	bad := p
+	bad.L = 2
+	if _, err := RunDay(bad, make([]float64, 700), p.M, pg, 0, 1, 0); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestNewTrackerErrors(t *testing.T) {
+	p := testParams()
+	if _, err := NewTracker(p, 1, 1, 0); err == nil {
+		t.Error("non-canonical pair should error")
+	}
+	if _, err := NewTracker(p, 2, 1, 0); err == nil {
+		t.Error("reversed pair should error")
+	}
+	bad := p
+	bad.M = 0
+	if _, err := NewTracker(bad, 0, 1, 0); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestParamsValidateTable(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.DeltaS = 0 },
+		func(p *Params) { p.A = -0.1 },
+		func(p *Params) { p.A = 1 },
+		func(p *Params) { p.M = 1 },
+		func(p *Params) { p.W = 0 },
+		func(p *Params) { p.Y = 0 },
+		func(p *Params) { p.D = 0 },
+		func(p *Params) { p.L = 0 },
+		func(p *Params) { p.L = 1 },
+		func(p *Params) { p.RT = 0 },
+		func(p *Params) { p.HP = 0 },
+		func(p *Params) { p.ST = -1 },
+		func(p *Params) { p.StopLoss = -0.5 },
+	}
+	for i, mut := range mutations {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate params", i)
+		}
+	}
+}
+
+func TestBaseGridHas14Levels(t *testing.T) {
+	grid := BaseGrid()
+	if len(grid) != 14 {
+		t.Fatalf("BaseGrid = %d levels, want 14 (paper)", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, p := range grid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("grid vector invalid: %v (%v)", err, p)
+		}
+		key := p.String()
+		if seen[key] {
+			t.Errorf("duplicate grid vector %v", p)
+		}
+		seen[key] = true
+	}
+}
+
+func TestFullGridIs42Sets(t *testing.T) {
+	grid := FullGrid()
+	if len(grid) != 42 {
+		t.Fatalf("FullGrid = %d sets, want 42 (14 × 3)", len(grid))
+	}
+	byType := map[corr.Type]int{}
+	for _, p := range grid {
+		byType[p.Ctype]++
+	}
+	for _, ty := range corr.Types() {
+		if byType[ty] != 14 {
+			t.Errorf("%v has %d sets, want 14", ty, byType[ty])
+		}
+	}
+}
+
+func TestExitReasonStrings(t *testing.T) {
+	names := map[ExitReason]string{
+		ExitRetracement:   "retracement",
+		ExitHoldingPeriod: "holding-period",
+		ExitEndOfDay:      "end-of-day",
+		ExitStopLoss:      "stop-loss",
+		ExitCorrReversion: "corr-reversion",
+		ExitReason(42):    "unknown",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestTradeReturnConsistency(t *testing.T) {
+	// Every recorded trade must satisfy Return = PnL / gross entry.
+	p := testParams()
+	pg := makeGrid(t, dipRecover(100))
+	tr := runScenario(t, p, pg, 90, 200, 100, 115)
+	for _, tt := range tr.Trades() {
+		gross := float64(tt.LongSh)*tt.LongEntry + float64(tt.ShortSh)*tt.ShortEntry
+		if math.Abs(tt.Return-tt.PnL/gross) > 1e-12 {
+			t.Errorf("return inconsistent: %v vs %v", tt.Return, tt.PnL/gross)
+		}
+	}
+}

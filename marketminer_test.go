@@ -1,0 +1,121 @@
+package marketminer
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"marketminer/internal/corr"
+)
+
+func TestFacadeConstants(t *testing.T) {
+	if Pearson != corr.Pearson || Maronna != corr.Maronna || Combined != corr.Combined {
+		t.Error("re-exported constants disagree with internal/corr")
+	}
+	if len(CorrTypes()) != 3 {
+		t.Error("CorrTypes should list 3 treatments")
+	}
+}
+
+func TestFacadeUniverseAndGrids(t *testing.T) {
+	if DefaultUniverse().Len() != 61 {
+		t.Error("default universe should have 61 stocks")
+	}
+	if len(ParamLevels()) != 14 {
+		t.Error("ParamLevels should have 14 vectors")
+	}
+	if len(ParamGrid()) != 42 {
+		t.Error("ParamGrid should have 42 sets")
+	}
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	u, err := NewUniverse([]string{"X", "Y"})
+	if err != nil || u.NumPairs() != 1 {
+		t.Errorf("NewUniverse: %v %v", u, err)
+	}
+}
+
+func TestSweepConfigScales(t *testing.T) {
+	tiny := SweepConfig(ScaleTiny, 1)
+	if tiny.Market.Universe.Len() != 8 || tiny.Market.Days != 2 {
+		t.Errorf("tiny scale wrong: %d stocks, %d days", tiny.Market.Universe.Len(), tiny.Market.Days)
+	}
+	small := SweepConfig(ScaleSmall, 1)
+	if small.Market.Universe.Len() != 20 || small.Market.Days != 5 {
+		t.Errorf("small scale wrong")
+	}
+	paper := SweepConfig(ScalePaper, 1)
+	if paper.Market.Universe.Len() != 61 || paper.Market.Days != 20 {
+		t.Errorf("paper scale wrong")
+	}
+	if err := tiny.Validate(); err != nil {
+		t.Errorf("tiny config invalid: %v", err)
+	}
+}
+
+// TestEndToEndTinySweep runs the complete public workflow: generate →
+// backtest → format tables. This is the facade-level smoke test; the
+// heavy lifting is covered in the internal packages.
+func TestEndToEndTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := SweepConfig(ScaleTiny, 99)
+	// Shrink the grid to 2 levels to keep the test fast on one core.
+	levels := ParamLevels()[:2]
+	cfg.Levels = levels
+	res, err := RunBacktest(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumPairs() != 28 {
+		t.Errorf("pairs = %d, want 28", res.NumPairs())
+	}
+	if res.TradeCount == 0 {
+		t.Error("tiny sweep produced no trades")
+	}
+	for _, s := range []string{FormatTableIII(res), FormatTableIV(res), FormatTableV(res)} {
+		if !strings.Contains(s, "Pearson") || !strings.Contains(s, "Combined") {
+			t.Errorf("table missing treatment columns:\n%s", s)
+		}
+	}
+	fig := FormatFigure2(res)
+	if strings.Count(fig, "FIGURE 2") != 3 {
+		t.Errorf("Figure 2 should have 3 panels:\n%s", fig)
+	}
+}
+
+func TestLivePipelineFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	u, err := NewUniverse([]string{"AA", "BB", "CC", "DD"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MarketConfig{Universe: u, Seed: 3, Days: 1, QuoteRate: 0.2, NumSectors: 2, BreakdownsPerDay: 6}
+	gen, err := NewMarket(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := gen.GenerateDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.M = 30
+	p.W = 20
+	p.RT = 20
+	p.D = 0.005
+	res, err := RunLivePipeline(context.Background(), PipelineConfig{
+		Universe: u,
+		Params:   []Params{p},
+	}, day.Quotes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matrices == 0 {
+		t.Error("live pipeline produced no matrices")
+	}
+}
