@@ -16,15 +16,20 @@ package marketminer
 //	             worker scaling)
 //	Ablations  — BenchmarkAblation* (stop-loss / correlation-reversion
 //	             exits, the §III extensions)
+//	Feed edge  — BenchmarkFeed* (binary wire codec vs the CSV path,
+//	             quotes/sec)
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"sync"
 	"testing"
 
 	"marketminer/internal/backtest"
 	"marketminer/internal/clean"
 	"marketminer/internal/corr"
+	"marketminer/internal/feed"
 	"marketminer/internal/market"
 	"marketminer/internal/portfolio"
 	"marketminer/internal/strategy"
@@ -408,4 +413,132 @@ func BenchmarkAblationCosts(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Feed wire format: binary codec vs the CSV path -------------------
+//
+// The paper's live system moves ~50 GB of quotes per day from the
+// collector to the compute cluster; the binary feed codec exists to
+// make that edge cheap. These benches compare quotes/sec through the
+// codec against the CSV reader/writer on identical data.
+
+// benchFeedQuotes builds one deterministic batch of n quotes.
+func benchFeedQuotes(b *testing.B, n int) ([]taq.Quote, *taq.Universe) {
+	b.Helper()
+	u, err := taq.NewUniverse(taq.DefaultSymbols()[:8])
+	if err != nil {
+		b.Fatal(err)
+	}
+	quotes := make([]taq.Quote, n)
+	for i := range quotes {
+		quotes[i] = taq.Quote{
+			Day:     0,
+			SeqTime: float64(i) * 0.01,
+			Symbol:  u.Symbol(i % u.Len()),
+			Bid:     100 + float64(i%500)*0.01,
+			Ask:     100.02 + float64(i%500)*0.01,
+			BidSize: 1 + i%40,
+			AskSize: 1 + (i*3)%40,
+		}
+	}
+	return quotes, u
+}
+
+func reportQuotesPerSec(b *testing.B, n int) {
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "quotes/sec")
+}
+
+func BenchmarkFeedCodecEncode(b *testing.B) {
+	quotes, u := benchFeedQuotes(b, 4096)
+	var buf bytes.Buffer
+	enc := feed.NewEncoder(&buf, u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := enc.WriteBatch(&feed.Batch{Seq: uint64(i) + 1, Quotes: quotes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportQuotesPerSec(b, len(quotes))
+}
+
+func BenchmarkFeedCodecDecode(b *testing.B) {
+	quotes, u := benchFeedQuotes(b, 4096)
+	var buf bytes.Buffer
+	enc := feed.NewEncoder(&buf, u)
+	if err := enc.WriteHello(&feed.Hello{Version: feed.ProtocolVersion, Symbols: u.Symbols()}); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.WriteBatch(&feed.Batch{Seq: 1, Quotes: quotes}); err != nil {
+		b.Fatal(err)
+	}
+	stream := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := feed.NewDecoder(bytes.NewReader(stream))
+		if _, err := dec.Read(); err != nil { // hello
+			b.Fatal(err)
+		}
+		f, err := dec.Read()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(f.(*feed.Batch).Quotes) != len(quotes) {
+			b.Fatal("short batch")
+		}
+	}
+	reportQuotesPerSec(b, len(quotes))
+}
+
+func BenchmarkFeedCSVWrite(b *testing.B) {
+	quotes, _ := benchFeedQuotes(b, 4096)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w := taq.NewWriter(&buf)
+		for _, q := range quotes {
+			if err := w.Write(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportQuotesPerSec(b, len(quotes))
+}
+
+func BenchmarkFeedCSVRead(b *testing.B) {
+	quotes, _ := benchFeedQuotes(b, 4096)
+	var buf bytes.Buffer
+	w := taq.NewWriter(&buf)
+	for _, q := range quotes {
+		if err := w.Write(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := taq.NewReader(bytes.NewReader(data), true)
+		n := 0
+		for {
+			_, err := r.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(quotes) {
+			b.Fatal("short read")
+		}
+	}
+	reportQuotesPerSec(b, len(quotes))
 }

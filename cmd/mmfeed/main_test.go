@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"marketminer"
+	"marketminer/internal/taq"
+)
+
+// TestServeSyntheticDayOverLoopback runs the mmfeed core on a loopback
+// listener and subscribes a collector: the full synthetic day must
+// arrive, then cancellation shuts the server down cleanly.
+func TestServeSyntheticDayOverLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	quotes, uni, err := load("", 0, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, l, quotes, uni, 128, 0) }()
+
+	c := marketminer.NewFeedCollector(marketminer.FeedCollectorConfig{Addr: l.Addr().String()})
+	go c.Run(ctx)
+	var got int
+	for range c.Quotes() {
+		got++
+	}
+	if got != len(quotes) {
+		t.Errorf("collector received %d of %d quotes", got, len(quotes))
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Errorf("serve: %v", err)
+	}
+}
+
+// TestPublishPacing checks the rate limiter publishes everything (the
+// correctness half; the actual pace is scheduler-dependent).
+func TestPublishPacing(t *testing.T) {
+	quotes, uni, err := load("", 0, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotes = quotes[:200]
+	s, err := marketminer.NewFeedServer(marketminer.FeedServerConfig{Universe: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := publish(context.Background(), s, quotes, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Quotes != len(quotes) {
+		t.Errorf("published %d of %d quotes", st.Quotes, len(quotes))
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	ctx := context.Background()
+	if err := run(ctx, "127.0.0.1:0", "", 0, 1, 9, 256, 0); err == nil {
+		t.Error("stocks < 2 should error")
+	}
+	if err := run(ctx, "127.0.0.1:0", "/nonexistent.csv", 0, 4, 9, 256, 0); err == nil {
+		t.Error("missing CSV should error")
+	}
+	if err := run(ctx, "256.256.256.256:99999", "", 0, 4, 9, 256, 0); err == nil {
+		t.Error("unbindable address should error")
+	}
+}
+
+func TestLoadCSVDayFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := taq.NewWriter(f)
+	for i := 0; i < 6; i++ {
+		sym := "AA"
+		if i%2 == 1 {
+			sym = "BB"
+		}
+		w.Write(taq.Quote{Day: 0, SeqTime: float64(i), Symbol: sym, Bid: 10, Ask: 10.1, BidSize: 1, AskSize: 1})
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	quotes, uni, err := loadCSV(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quotes) != 6 || uni.Len() != 2 {
+		t.Errorf("loaded %d quotes / %d symbols, want 6 / 2", len(quotes), uni.Len())
+	}
+	if _, _, err := loadCSV(path, 3); err == nil {
+		t.Error("empty day should error")
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	mmpipeline -stocks 10                    # synthetic day, live DAG
 //	mmpipeline -in taq.csv -day 0            # replay a file
+//	mmpipeline -connect host:9000            # subscribe to an mmfeed server
 //	mmpipeline -ctype maronna -m 100 -w 60   # engine configuration
 package main
 
@@ -29,6 +30,7 @@ import (
 func main() {
 	var (
 		in      = flag.String("in", "", "CSV quote file (empty = synthetic)")
+		connect = flag.String("connect", "", "mmfeed server address (overrides -in/-stocks)")
 		day     = flag.Int("day", 0, "day index to replay/generate")
 		stocks  = flag.Int("stocks", 10, "universe size for synthetic data (max 61)")
 		seed    = flag.Int64("seed", 20080301, "synthetic data seed")
@@ -40,31 +42,51 @@ func main() {
 		dot     = flag.Bool("dot", false, "also print the executed DAG in Graphviz dot format")
 	)
 	flag.Parse()
-	if err := run(*in, *day, *stocks, *seed, *ctype, *m, *w, *d, *workers, *dot); err != nil {
+	if err := run(*in, *connect, *day, *stocks, *seed, *ctype, *m, *w, *d, *workers, *dot); err != nil {
 		fmt.Fprintln(os.Stderr, "mmpipeline:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, day, stocks int, seed int64, ctype string, m, w int, d float64, workers int, dot bool) error {
+func run(in, connect string, day, stocks int, seed int64, ctype string, m, w int, d float64, workers int, dot bool) error {
 	ct, err := corr.ParseType(ctype)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 
+	// Resolve the quote source: networked collector, CSV replay, or
+	// synthetic generation — the three interchangeable collector
+	// adapters of Figure 1.
 	var (
-		quotes []taq.Quote
-		uni    *marketminer.Universe
+		src       marketminer.QuoteSource
+		uni       *marketminer.Universe
+		collector *marketminer.FeedCollector
 	)
-	if in != "" {
-		quotes, uni, err = loadCSV(in, day)
+	if connect != "" {
+		collector = marketminer.NewFeedCollector(marketminer.FeedCollectorConfig{Addr: connect})
+		go collector.Run(ctx)
+		uctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		uni, err = collector.Universe(uctx)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("connecting to feed %s: %w", connect, err)
+		}
+		src = marketminer.ChannelSource(collector.Quotes())
+		fmt.Printf("feed: connected to %s, %d stocks\n", connect, uni.Len())
 	} else {
-		quotes, uni, err = synthetic(stocks, seed, day)
+		var quotes []taq.Quote
+		if in != "" {
+			quotes, uni, err = loadCSV(in, day)
+		} else {
+			quotes, uni, err = synthetic(stocks, seed, day)
+		}
+		if err != nil {
+			return err
+		}
+		src = marketminer.SliceSource(quotes)
+		fmt.Printf("feed: %d quotes, %d stocks, day %d\n", len(quotes), uni.Len(), day)
 	}
-	if err != nil {
-		return err
-	}
-	fmt.Printf("feed: %d quotes, %d stocks, day %d\n", len(quotes), uni.Len(), day)
 
 	p := marketminer.DefaultParams()
 	p.Ctype = ct
@@ -77,11 +99,17 @@ func run(in string, day, stocks int, seed int64, ctype string, m, w int, d float
 		Workers:  workers,
 	}
 	start := time.Now()
-	res, err := marketminer.RunLivePipeline(context.Background(), cfg, quotes, day)
+	res, err := marketminer.RunLivePipelineFrom(ctx, cfg, src, day)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
+
+	if collector != nil {
+		st := collector.Stats()
+		fmt.Printf("collector: %d connects, %d disconnects, %d duplicates skipped, %d order violations\n",
+			st.Connects, st.Disconnects, st.Duplicates, st.OrderViolations)
+	}
 
 	fmt.Printf("\nFIGURE 1 PIPELINE — completed in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  quotes in / cleaned     %8d / %d (%.2f%% rejected)\n",

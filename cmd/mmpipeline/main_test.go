@@ -1,10 +1,13 @@
 package main
 
 import (
+	"net"
+
 	"os"
 	"path/filepath"
 	"testing"
 
+	"marketminer"
 	"marketminer/internal/taq"
 )
 
@@ -12,16 +15,16 @@ func TestRunSyntheticDay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("", 0, 4, 9, "pearson", 30, 20, 0.005, 1, true); err != nil {
+	if err := run("", "", 0, 4, 9, "pearson", 30, 20, 0.005, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run("", 0, 4, 9, "spearmanX", 30, 20, 0.005, 1, false); err == nil {
+	if err := run("", "", 0, 4, 9, "spearmanX", 30, 20, 0.005, 1, false); err == nil {
 		t.Error("unknown ctype should error")
 	}
-	if err := run("", 0, 1, 9, "pearson", 30, 20, 0.005, 1, false); err == nil {
+	if err := run("", "", 0, 1, 9, "pearson", 30, 20, 0.005, 1, false); err == nil {
 		t.Error("stocks < 2 should error")
 	}
 }
@@ -62,5 +65,34 @@ func TestLoadCSVRoundTrip(t *testing.T) {
 	}
 	if _, _, err := loadCSV("/nonexistent.csv", 0); err == nil {
 		t.Error("missing file should error")
+	}
+}
+
+// TestRunConnectedToFeed drives the full networked path the CLI pair
+// (mmfeed | mmpipeline -connect) uses: a feed server replays a
+// synthetic day on loopback and run() subscribes to it.
+func TestRunConnectedToFeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	quotes, uni, err := synthetic(4, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := marketminer.NewFeedServer(marketminer.FeedServerConfig{Universe: uni})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	s.PublishBatch(quotes)
+	s.Finish()
+
+	if err := run("", l.Addr().String(), 0, 0, 0, "pearson", 30, 20, 0.005, 1, false); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -29,6 +29,7 @@ const (
 	ZeroSize                   // both sizes zero → test quote
 	WideSpread                 // spread implausibly wide relative to the mid
 	Outlier                    // outside the TCP-like deviation band
+	OutOfOrder                 // (Day, SeqTime) ran backwards (Config.Ordered)
 )
 
 // String names the reason for diagnostics.
@@ -44,6 +45,8 @@ func (r Reason) String() string {
 		return "wide-spread"
 	case Outlier:
 		return "outlier"
+	case OutOfOrder:
+		return "out-of-order"
 	default:
 		return "unknown"
 	}
@@ -72,6 +75,12 @@ type Config struct {
 	// its estimator on the current quote and accepts it. Isolated bad
 	// ticks never persist, so they are still rejected.
 	MaxRun int
+	// Ordered additionally enforces stream-wide (Day, SeqTime)
+	// monotonicity via taq.OrderChecker — the same validator the feed
+	// collector runs on networked input. A quote that travels back in
+	// time is rejected with OutOfOrder before any statistical test; it
+	// never perturbs the EWMA estimators.
+	Ordered bool
 }
 
 // DefaultConfig mirrors TCP's RTT estimator gains with a 4-deviation
@@ -93,6 +102,7 @@ type state struct {
 type Filter struct {
 	cfg      Config
 	bySymbol map[string]*state
+	order    taq.OrderChecker // stream-wide monotonicity (Config.Ordered)
 	accepted int
 	rejected map[Reason]int
 }
@@ -161,6 +171,14 @@ func devFloor(mean float64) float64 { return 1e-4 * math.Abs(mean) }
 // treated as a genuine level shift: the estimator re-anchors on the
 // current quote and the quote is accepted.
 func (f *Filter) Accept(q taq.Quote) Reason {
+	// Ordering is checked first: a time-travelling quote is rejected
+	// outright, whatever its price looks like, and the MaxRun re-anchor
+	// path below must never fire on one. The checker's running-max
+	// semantics mean a rejected glitch does not poison later quotes.
+	if f.cfg.Ordered && !f.order.Check(q) {
+		f.rejected[OutOfOrder]++
+		return OutOfOrder
+	}
 	r := f.Check(q)
 	st := f.bySymbol[q.Symbol]
 	if r == Outlier && st != nil {

@@ -15,7 +15,7 @@ func goodQuote(t float64, mid float64) taq.Quote {
 func TestReasonString(t *testing.T) {
 	for r, want := range map[Reason]string{
 		OK: "ok", BadStructure: "bad-structure", ZeroSize: "zero-size",
-		WideSpread: "wide-spread", Outlier: "outlier", Reason(99): "unknown",
+		WideSpread: "wide-spread", Outlier: "outlier", OutOfOrder: "out-of-order", Reason(99): "unknown",
 	} {
 		if r.String() != want {
 			t.Errorf("Reason(%d).String() = %q, want %q", r, r.String(), want)
@@ -240,5 +240,69 @@ func TestIsolatedSpikesStillRejectedWithMaxRun(t *testing.T) {
 		if r := f.Accept(goodQuote(float64(i+1), 50)); r != OK {
 			t.Fatalf("normal quote at %d rejected: %v", i+1, r)
 		}
+	}
+}
+
+func TestFilterOrderedRejectsTimeTravel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ordered = true
+	f := NewFilter(cfg)
+	for i := 0; i < 20; i++ {
+		if r := f.Accept(goodQuote(float64(i), 50)); r != OK {
+			t.Fatalf("ordered quote %d rejected: %v", i, r)
+		}
+	}
+	// A quote from the past: statistically perfect, temporally wrong.
+	if r := f.Accept(goodQuote(5, 50)); r != OutOfOrder {
+		t.Fatalf("stale quote: got %v, want OutOfOrder", r)
+	}
+	// An earlier Day outranks a larger SeqTime.
+	past := goodQuote(100, 50)
+	past.Day = -1
+	if r := f.Accept(past); r != OutOfOrder {
+		t.Fatalf("previous-day quote: got %v, want OutOfOrder", r)
+	}
+	if f.Rejected(OutOfOrder) != 2 {
+		t.Errorf("Rejected(OutOfOrder) = %d, want 2", f.Rejected(OutOfOrder))
+	}
+	// The stream resumes at the running max, not at the glitch.
+	if r := f.Accept(goodQuote(19.5, 50)); r != OK {
+		t.Fatalf("resumed quote rejected: %v", r)
+	}
+}
+
+func TestFilterOrderedShieldsReanchor(t *testing.T) {
+	// A MaxRun-length burst of out-of-order quotes must NOT trigger the
+	// level-shift re-anchor: ordering rejection precedes outlier
+	// counting, so outRun never advances and the estimator is intact.
+	cfg := DefaultConfig()
+	cfg.Ordered = true
+	f := NewFilter(cfg)
+	for i := 0; i < 20; i++ {
+		f.Accept(goodQuote(float64(i), 50))
+	}
+	mean0, _, _ := f.Level("AA")
+	for i := 0; i < cfg.MaxRun+2; i++ {
+		if r := f.Accept(goodQuote(1, 500)); r != OutOfOrder { // stale AND 10× the level
+			t.Fatalf("stale outlier %d: got %v, want OutOfOrder", i, r)
+		}
+	}
+	if mean, _, _ := f.Level("AA"); mean != mean0 {
+		t.Errorf("estimator perturbed by rejected quotes: %v → %v", mean0, mean)
+	}
+	if r := f.Accept(goodQuote(20, 50)); r != OK {
+		t.Fatalf("clean quote after glitch burst rejected: %v", r)
+	}
+}
+
+func TestFilterUnorderedIgnoresTime(t *testing.T) {
+	// Without Ordered, the default filter is time-agnostic (historical
+	// slices are pre-sorted; re-checking them would be pure overhead).
+	f := NewFilter(DefaultConfig())
+	if r := f.Accept(goodQuote(10, 50)); r != OK {
+		t.Fatal(r)
+	}
+	if r := f.Accept(goodQuote(1, 50)); r != OK {
+		t.Fatalf("unordered filter rejected a stale quote: %v", r)
 	}
 }

@@ -117,12 +117,62 @@ type PipelineResult struct {
 	GraphDOT string
 }
 
+// QuoteSource feeds the pipeline's collector node. It must call emit
+// for every quote (time-sorted, as a live feed is) and return when the
+// stream ends or emit reports false (pipeline shutdown). This is the
+// seam where the paper's interchangeable "Live Collector" / "File
+// Collector" adapters plug in: an in-memory slice, a CSV replay, or a
+// networked feed.Collector all look identical to the DAG.
+type QuoteSource func(ctx context.Context, emit func(taq.Quote) bool) error
+
+// SliceSource adapts an in-memory day of quotes to a QuoteSource.
+func SliceSource(quotes []taq.Quote) QuoteSource {
+	return func(ctx context.Context, emit func(taq.Quote) bool) error {
+		for _, q := range quotes {
+			if !emit(q) {
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// ChannelSource adapts a quote channel (e.g. feed.Collector.Quotes) to
+// a QuoteSource; the stream ends when the channel closes.
+func ChannelSource(ch <-chan taq.Quote) QuoteSource {
+	return func(ctx context.Context, emit func(taq.Quote) bool) error {
+		for {
+			select {
+			case q, ok := <-ch:
+				if !ok {
+					return nil
+				}
+				if !emit(q) {
+					return nil
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+}
+
 // RunPipeline executes the Figure-1 DAG over one day's quote stream
 // (which must be time-sorted, as a live feed is). It blocks until the
 // stream is exhausted and every node has drained.
 func RunPipeline(ctx context.Context, cfg PipelineConfig, quotes []taq.Quote, day int) (*PipelineResult, error) {
+	return RunPipelineSource(ctx, cfg, SliceSource(quotes), day)
+}
+
+// RunPipelineSource executes the Figure-1 DAG over a streaming quote
+// source — the networked deployment path, where the collector node is
+// backed by a feed.Collector instead of an in-memory day.
+func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSource, day int) (*PipelineResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if source == nil {
+		return nil, errors.New("core: nil quote source")
 	}
 	p0 := cfg.Params[0]
 	grid, err := series.NewGrid(p0.DeltaS)
@@ -157,13 +207,10 @@ func RunPipeline(ctx context.Context, cfg PipelineConfig, quotes []taq.Quote, da
 
 	// Source: the data adapter ("Live Collector" / "File Collector").
 	src := g.Source("collector", func(ctx context.Context, emit engine.Emit) error {
-		for _, q := range quotes {
+		return source(ctx, func(q taq.Quote) bool {
 			res.QuotesIn++
-			if !emit(q) {
-				return nil
-			}
-		}
-		return nil
+			return emit(q)
+		})
 	})
 
 	// Cleaning stage (the TCP-like filter of §III).

@@ -1,0 +1,223 @@
+package feed
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"marketminer/internal/taq"
+)
+
+func testUniverse(t *testing.T) *taq.Universe {
+	t.Helper()
+	u, err := taq.NewUniverse([]string{"XOM", "CVX", "UPS", "FDX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func testQuotes(u *taq.Universe, n int, day int) []taq.Quote {
+	out := make([]taq.Quote, n)
+	for i := range out {
+		out[i] = taq.Quote{
+			Day:     day,
+			SeqTime: float64(i) * 0.25,
+			Symbol:  u.Symbol(i % u.Len()),
+			Bid:     100 + float64(i)*0.01,
+			Ask:     100.02 + float64(i)*0.01,
+			BidSize: i % 50,
+			AskSize: (i * 3) % 70,
+		}
+	}
+	return out
+}
+
+func TestCodecRoundTripAllFrames(t *testing.T) {
+	u := testUniverse(t)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, u)
+
+	quotes := testQuotes(u, 100, 3)
+	frames := []struct {
+		name  string
+		write func() error
+	}{
+		{"hello", func() error {
+			return enc.WriteHello(&Hello{Version: ProtocolVersion, Symbols: u.Symbols()})
+		}},
+		{"batch", func() error { return enc.WriteBatch(&Batch{Seq: 1, Day: 3, Quotes: quotes}) }},
+		{"empty-batch", func() error { return enc.WriteBatch(&Batch{Seq: 2, Day: 3}) }},
+		{"heartbeat", func() error { return enc.WriteHeartbeat(&Heartbeat{Seq: 2}) }},
+		{"end", func() error { return enc.WriteEnd(&End{Seq: 2}) }},
+		{"subscribe", func() error { return enc.WriteSubscribe(&Subscribe{From: 7}) }},
+	}
+	for _, f := range frames {
+		if err := f.write(); err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+	}
+
+	dec := NewDecoder(&buf)
+	f, err := dec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, ok := f.(*Hello)
+	if !ok || hello.Version != ProtocolVersion || len(hello.Symbols) != u.Len() {
+		t.Fatalf("hello mismatch: %+v", f)
+	}
+	f, err = dec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := f.(*Batch)
+	if b.Seq != 1 || b.Day != 3 || len(b.Quotes) != len(quotes) {
+		t.Fatalf("batch header mismatch: seq=%d day=%d n=%d", b.Seq, b.Day, len(b.Quotes))
+	}
+	for i := range quotes {
+		if b.Quotes[i] != quotes[i] {
+			t.Fatalf("quote %d: got %+v want %+v", i, b.Quotes[i], quotes[i])
+		}
+	}
+	if f, err = dec.Read(); err != nil || len(f.(*Batch).Quotes) != 0 {
+		t.Fatalf("empty batch: %+v, %v", f, err)
+	}
+	if f, err = dec.Read(); err != nil || f.(*Heartbeat).Seq != 2 {
+		t.Fatalf("heartbeat: %+v, %v", f, err)
+	}
+	if f, err = dec.Read(); err != nil || f.(*End).Seq != 2 {
+		t.Fatalf("end: %+v, %v", f, err)
+	}
+	if f, err = dec.Read(); err != nil || f.(*Subscribe).From != 7 {
+		t.Fatalf("subscribe: %+v, %v", f, err)
+	}
+	if _, err = dec.Read(); err != io.EOF {
+		t.Fatalf("stream end: %v, want io.EOF", err)
+	}
+}
+
+func TestCodecPreservesExactFloats(t *testing.T) {
+	// Binary framing must be bit-exact — no CSV rounding.
+	u := testUniverse(t)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, u)
+	enc.WriteHello(&Hello{Version: ProtocolVersion, Symbols: u.Symbols()})
+	q := taq.Quote{Day: 0, SeqTime: 1.0 / 3, Symbol: "XOM", Bid: math.Pi, Ask: math.E * 2, BidSize: 1, AskSize: 1}
+	if err := enc.WriteBatch(&Batch{Seq: 1, Quotes: []taq.Quote{q}}); err != nil {
+		t.Fatal(err)
+	}
+	dec := NewDecoder(&buf)
+	dec.Read() // hello
+	f, err := dec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.(*Batch).Quotes[0]
+	if got.Bid != math.Pi || got.Ask != math.E*2 || got.SeqTime != 1.0/3 {
+		t.Fatalf("floats not bit-exact: %+v", got)
+	}
+}
+
+func TestEncoderRejectsBadBatches(t *testing.T) {
+	u := testUniverse(t)
+	var buf bytes.Buffer
+
+	if err := NewEncoder(&buf, nil).WriteBatch(&Batch{Seq: 1}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("nil-universe encoder: %v", err)
+	}
+	enc := NewEncoder(&buf, u)
+	bad := &Batch{Seq: 1, Quotes: []taq.Quote{{Symbol: "NOPE", Bid: 1, Ask: 2}}}
+	if err := enc.WriteBatch(bad); !errors.Is(err, ErrProtocol) {
+		t.Errorf("unknown symbol: %v", err)
+	}
+	neg := &Batch{Seq: 1, Quotes: []taq.Quote{{Symbol: "XOM", Bid: 1, Ask: 2, BidSize: -1}}}
+	if err := enc.WriteBatch(neg); !errors.Is(err, ErrProtocol) {
+		t.Errorf("negative size: %v", err)
+	}
+}
+
+func TestDecoderRejectsCorruptStreams(t *testing.T) {
+	u := testUniverse(t)
+	goodHello := func() []byte {
+		var buf bytes.Buffer
+		NewEncoder(&buf, u).WriteHello(&Hello{Version: 1, Symbols: u.Symbols()})
+		return buf.Bytes()
+	}
+	goodBatch := func() []byte {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, u)
+		enc.WriteBatch(&Batch{Seq: 1, Quotes: testQuotes(u, 3, 0)})
+		return buf.Bytes()
+	}
+
+	cases := []struct {
+		name    string
+		stream  []byte
+		wantEOF bool // torn-frame cases surface as ErrUnexpectedEOF
+	}{
+		{"unknown-type", []byte{0xEE, 0, 0, 0, 0}, false},
+		{"oversized-length", []byte{byte(FrameBatch), 0xFF, 0xFF, 0xFF, 0xFF}, false},
+		{"torn-header", []byte{byte(FrameBatch), 1, 0}, true},
+		{"torn-payload", append([]byte{byte(FrameHeartbeat), 8, 0, 0, 0}, 1, 2, 3), true},
+		{"batch-before-hello", goodBatch(), false},
+		{"heartbeat-short-payload", []byte{byte(FrameHeartbeat), 2, 0, 0, 0, 1, 2}, false},
+		{"hello-truncated-symbols", []byte{byte(FrameHello), 7, 0, 0, 0, 1, 0, 5, 0, 0, 0, 9}, false},
+		{"batch-bad-count", append(goodHello(), byte(FrameBatch), 16, 0, 0, 0,
+			1, 0, 0, 0, 0, 0, 0, 0 /* seq */, 0, 0, 0, 0 /* day */, 200, 0, 0, 0 /* count=200, no data */), false},
+		{"batch-symbol-out-of-range", append(goodHello(), func() []byte {
+			// Hand-build a 1-quote batch with symbol index 9999.
+			p := make([]byte, 0, frameHeaderSize+batchHeaderSize+quoteWireSize)
+			p = append(p, byte(FrameBatch), byte(batchHeaderSize+quoteWireSize), 0, 0, 0)
+			p = append(p, 1, 0, 0, 0, 0, 0, 0, 0) // seq
+			p = append(p, 0, 0, 0, 0)             // day
+			p = append(p, 1, 0, 0, 0)             // count
+			p = append(p, 0x0F, 0x27)             // idx 9999
+			p = append(p, make([]byte, quoteWireSize-2)...)
+			return p
+		}()...), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := NewDecoder(bytes.NewReader(tc.stream))
+			var err error
+			for err == nil {
+				_, err = dec.Read()
+			}
+			if tc.wantEOF {
+				if err != io.ErrUnexpectedEOF {
+					t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+				}
+				return
+			}
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("err = %v, want ErrProtocol", err)
+			}
+		})
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// The wire format should be materially smaller than CSV for the
+	// same quotes — the point of a binary codec on a 50 GB/day feed.
+	u := testUniverse(t)
+	quotes := testQuotes(u, 1000, 0)
+
+	var bin bytes.Buffer
+	enc := NewEncoder(&bin, u)
+	enc.WriteHello(&Hello{Version: 1, Symbols: u.Symbols()})
+	if err := enc.WriteBatch(&Batch{Seq: 1, Quotes: quotes}); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	w := taq.NewWriter(&csv)
+	for _, q := range quotes {
+		w.Write(q)
+	}
+	w.Flush()
+	if bin.Len() >= csv.Len() {
+		t.Errorf("binary %d bytes ≥ CSV %d bytes", bin.Len(), csv.Len())
+	}
+}

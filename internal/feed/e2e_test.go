@@ -1,0 +1,103 @@
+package feed
+
+// End-to-end acceptance test: the Figure-1 pipeline fed over the wire
+// (feed.Server on loopback → ≥ 2 feed.Collector clients) must produce
+// exactly the same order stream as the in-process run on identical
+// synthetic data. The binary codec is bit-exact, so the comparison is
+// strict equality, not tolerance-based.
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"marketminer/internal/core"
+	"marketminer/internal/market"
+	"marketminer/internal/strategy"
+	"marketminer/internal/taq"
+)
+
+func TestE2E_NetworkedPipelineMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	u, err := taq.NewUniverse([]string{"XOM", "CVX", "UPS", "FDX", "WMT"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := market.NewGenerator(market.Config{Universe: u, Seed: 17, Days: 1, Contamination: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := gen.GenerateDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotes := day.Quotes
+
+	p := strategy.DefaultParams()
+	p.M = 50
+	cfg := func(u *taq.Universe) core.PipelineConfig {
+		return core.PipelineConfig{Universe: u, Params: []strategy.Params{p}}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	baseline, err := core.RunPipeline(ctx, cfg(u), quotes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, addr := startServer(t, ServerConfig{Universe: u, BatchSize: 512})
+	go func() {
+		s.PublishBatch(quotes)
+		s.Finish()
+	}()
+
+	const nClients = 2
+	results := make([]*core.PipelineResult, nClients)
+	errs := make([]error, nClients)
+	var wg sync.WaitGroup
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewCollector(CollectorConfig{Addr: addr, HeartbeatTimeout: 30 * time.Second})
+			go c.Run(ctx)
+			// The universe arrives over the wire in Hello — the
+			// pipeline is configured entirely from the feed.
+			cu, err := c.Universe(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = core.RunPipelineSource(ctx, cfg(cu), core.ChannelSource(c.Quotes()), 0)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < nClients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("collector pipeline %d: %v", i, errs[i])
+		}
+		got := results[i]
+		if got.QuotesIn != baseline.QuotesIn || got.QuotesClean != baseline.QuotesClean {
+			t.Errorf("client %d: quotes in/clean = %d/%d, baseline %d/%d",
+				i, got.QuotesIn, got.QuotesClean, baseline.QuotesIn, baseline.QuotesClean)
+		}
+		if got.Orders != baseline.Orders || got.OrdersRejected != baseline.OrdersRejected {
+			t.Errorf("client %d: orders = %d (%d rejected), baseline %d (%d)",
+				i, got.Orders, got.OrdersRejected, baseline.Orders, baseline.OrdersRejected)
+		}
+		if got.CashPnL != baseline.CashPnL {
+			t.Errorf("client %d: cash PnL = %v, baseline %v", i, got.CashPnL, baseline.CashPnL)
+		}
+		if !reflect.DeepEqual(got.Trades, baseline.Trades) {
+			t.Errorf("client %d: trade stream differs from in-process run (%d vs %d trades)",
+				i, len(got.Trades[0]), len(baseline.Trades[0]))
+		}
+	}
+}

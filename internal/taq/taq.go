@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -147,9 +148,6 @@ func NewReader(r io.Reader, strict bool) *Reader {
 
 var errHeader = errors.New("missing or malformed header")
 
-// skipped counts malformed lines dropped in non-strict mode.
-var _ = errHeader
-
 // Read returns the next quote, io.EOF at end of stream, or an
 // *ErrBadRecord in strict mode.
 func (r *Reader) Read() (Quote, error) {
@@ -206,17 +204,17 @@ func parseLine(text string) (Quote, error) {
 	if q.Day, err = strconv.Atoi(fields[0]); err != nil {
 		return Quote{}, fmt.Errorf("day: %w", err)
 	}
-	if q.SeqTime, err = strconv.ParseFloat(fields[1], 64); err != nil {
+	if q.SeqTime, err = parseFinite(fields[1]); err != nil {
 		return Quote{}, fmt.Errorf("seqtime: %w", err)
 	}
 	q.Symbol = fields[2]
 	if q.Symbol == "" {
 		return Quote{}, errors.New("empty symbol")
 	}
-	if q.Bid, err = strconv.ParseFloat(fields[3], 64); err != nil {
+	if q.Bid, err = parseFinite(fields[3]); err != nil {
 		return Quote{}, fmt.Errorf("bid: %w", err)
 	}
-	if q.Ask, err = strconv.ParseFloat(fields[4], 64); err != nil {
+	if q.Ask, err = parseFinite(fields[4]); err != nil {
 		return Quote{}, fmt.Errorf("ask: %w", err)
 	}
 	if q.BidSize, err = strconv.Atoi(fields[5]); err != nil {
@@ -226,6 +224,20 @@ func parseLine(text string) (Quote, error) {
 		return Quote{}, fmt.Errorf("asksize: %w", err)
 	}
 	return q, nil
+}
+
+// parseFinite parses a float and rejects NaN/±Inf: strconv accepts the
+// literals "NaN" and "Inf", but a non-finite price or timestamp would
+// silently poison every downstream EWMA and correlation window.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }
 
 // Universe is an ordered set of symbols with O(1) index lookup. The

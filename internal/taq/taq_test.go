@@ -317,6 +317,75 @@ func TestPairFromIDInvertsPairID(t *testing.T) {
 	}
 }
 
+// TestReaderMalformedInputTable stress-tests the reader against the
+// malformed-line species discovered while building the binary feed
+// codec: truncated lines, extra fields, binary garbage, non-finite
+// numbers, and embedded NULs. Every case is checked in both strict
+// mode (must surface an ErrBadRecord) and lenient mode (must be
+// skipped without aborting the stream).
+func TestReaderMalformedInputTable(t *testing.T) {
+	const goodLine = "0,5.0,IBM,10,10.1,1,1"
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"truncated-mid-field", "0,5.0,IBM,10,10."},
+		{"truncated-few-fields", "0,5.0,IBM"},
+		{"extra-field", goodLine + ",99"},
+		{"binary-garbage", "\x00\x01\x02\xff\xfe,,,,,,"},
+		{"embedded-nul-day", "\x000,5.0,IBM,10,10.1,1,1"},
+		{"nan-bid", "0,5.0,IBM,NaN,10.1,1,1"},
+		{"inf-ask", "0,5.0,IBM,10,+Inf,1,1"},
+		{"neg-inf-seqtime", "0,-Inf,IBM,10,10.1,1,1"},
+		{"float-sizes", "0,5.0,IBM,10,10.1,1.5,1"},
+		{"hex-price", "0,5.0,IBM,0xDEAD,10.1,1,1"},
+		{"overflow-day", "99999999999999999999,5.0,IBM,10,10.1,1,1"},
+		{"empty-fields", ",,,,,,"},
+		{"only-commas-8", ",,,,,,,"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := header + "\n" + goodLine + "\n" + tc.line + "\n" + goodLine + "\n"
+
+			// Strict: the bad line must surface as ErrBadRecord at line 3.
+			r := NewReader(strings.NewReader(in), true)
+			if _, err := r.Read(); err != nil {
+				t.Fatalf("strict: good record 1: %v", err)
+			}
+			_, err := r.Read()
+			var bad *ErrBadRecord
+			if !errors.As(err, &bad) {
+				t.Fatalf("strict: want ErrBadRecord, got %v", err)
+			}
+			if bad.Line != 3 {
+				t.Errorf("strict: bad line = %d, want 3", bad.Line)
+			}
+
+			// Lenient: the bad line is dropped, the stream survives.
+			got, err := NewReader(strings.NewReader(in), false).ReadAll()
+			if err != nil {
+				t.Fatalf("lenient: %v", err)
+			}
+			if len(got) != 2 {
+				t.Fatalf("lenient: got %d records, want 2", len(got))
+			}
+		})
+	}
+}
+
+// TestReaderTruncatedStream checks that a stream cut off mid-line (a
+// torn file tail or dropped connection) yields the intact prefix.
+func TestReaderTruncatedStream(t *testing.T) {
+	in := header + "\n0,1.0,IBM,10,10.1,1,1\n0,2.0,IBM,10,10"
+	got, err := NewReader(strings.NewReader(in), false).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].SeqTime != 1.0 {
+		t.Fatalf("got %+v, want the single intact record", got)
+	}
+}
+
 func TestPairFromIDPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {

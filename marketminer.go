@@ -22,7 +22,9 @@
 // Maronna, Combined + parallel engine), engine (channel DAG runtime),
 // strategy (the §III state machine), portfolio (orders and P&L),
 // backtest (the three runners), metrics (Equations (1)–(9)), report
-// (the paper's tables) and sched (SGE-like farm baseline).
+// (the paper's tables), sched (SGE-like farm baseline) and feed (the
+// networked quote-distribution layer: binary codec, replay server,
+// resilient collector client).
 package marketminer
 
 import (
@@ -32,6 +34,7 @@ import (
 	"marketminer/internal/clean"
 	"marketminer/internal/core"
 	"marketminer/internal/corr"
+	"marketminer/internal/feed"
 	"marketminer/internal/market"
 	"marketminer/internal/report"
 	"marketminer/internal/strategy"
@@ -69,6 +72,18 @@ type (
 	PipelineConfig = core.PipelineConfig
 	// PipelineResult summarises one streaming run.
 	PipelineResult = core.PipelineResult
+	// QuoteSource feeds the pipeline's collector node — the seam where
+	// the in-memory, file-replay and networked collectors plug in.
+	QuoteSource = core.QuoteSource
+	// FeedServerConfig tunes a quote-distribution server.
+	FeedServerConfig = feed.ServerConfig
+	// FeedServer replays quote streams to networked subscribers.
+	FeedServer = feed.Server
+	// FeedCollectorConfig tunes a networked collector client.
+	FeedCollectorConfig = feed.CollectorConfig
+	// FeedCollector subscribes to a FeedServer with automatic
+	// reconnect, resume and gap detection.
+	FeedCollector = feed.Collector
 )
 
 // Correlation treatments (the paper's Ctype).
@@ -124,6 +139,28 @@ func RunBacktestFarm(ctx context.Context, cfg BacktestConfig) (*BacktestResult, 
 func RunLivePipeline(ctx context.Context, cfg PipelineConfig, quotes []Quote, day int) (*PipelineResult, error) {
 	return core.RunPipeline(ctx, cfg, quotes, day)
 }
+
+// RunLivePipelineFrom executes the Figure-1 DAG over an arbitrary
+// QuoteSource — typically ChannelSource(collector.Quotes()) for a
+// networked feed, or SliceSource for in-memory replay.
+func RunLivePipelineFrom(ctx context.Context, cfg PipelineConfig, src QuoteSource, day int) (*PipelineResult, error) {
+	return core.RunPipelineSource(ctx, cfg, src, day)
+}
+
+// SliceSource adapts an in-memory quote slice to a QuoteSource.
+func SliceSource(quotes []Quote) QuoteSource { return core.SliceSource(quotes) }
+
+// ChannelSource adapts a quote channel (e.g. FeedCollector.Quotes) to
+// a QuoteSource; it ends when the channel closes.
+func ChannelSource(ch <-chan Quote) QuoteSource { return core.ChannelSource(ch) }
+
+// NewFeedServer builds a quote-distribution server for the given
+// universe; see FeedServerConfig for tuning.
+func NewFeedServer(cfg FeedServerConfig) (*FeedServer, error) { return feed.NewServer(cfg) }
+
+// NewFeedCollector builds a resilient feed client; run it with
+// Run(ctx) and consume Quotes().
+func NewFeedCollector(cfg FeedCollectorConfig) *FeedCollector { return feed.NewCollector(cfg) }
 
 // FormatTableIII renders the Table III statistics of a finished sweep.
 func FormatTableIII(r *BacktestResult) string {

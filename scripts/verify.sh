@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Full verification gate: vet, build, and race-enabled tests for every
+# package. Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
