@@ -260,6 +260,77 @@ func BenchmarkCorrelationWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkCorrelationWindowWarm measures the engine's steady-state
+// per-window cost: a warm-started sliding Maronna fit seeded from the
+// previous window's fixed point, and the fused variant that serves
+// both robust treatments from that single fit. Compare against the
+// cold-start BenchmarkCorrelationWindow numbers — the gap is the
+// tentpole speedup of the warm-start/fusion overhaul.
+func BenchmarkCorrelationWindowWarm(b *testing.B) {
+	dd, _ := benchDay(b, 4)
+	x, y := dd.Returns[0], dd.Returns[1]
+	const m = 100
+	steps := len(x) - m
+	if steps <= 0 {
+		b.Fatal("day too short")
+	}
+	est := corr.NewMaronnaEstimator(corr.DefaultMaronnaConfig())
+	b.Run("Maronna", func(b *testing.B) {
+		var sc *corr.Scratch
+		warm, sc := est.FitScratch(x[:m], y[:m], sc, nil)
+		t := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			warm, sc = est.FitScratch(x[t:t+m], y[t:t+m], sc, &warm)
+		}
+	})
+	b.Run("MaronnaCombinedFused", func(b *testing.B) {
+		var sc *corr.Scratch
+		warm, sc := est.FitScratch(x[:m], y[:m], sc, nil)
+		t := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			warm, sc = est.FitScratch(x[t:t+m], y[t:t+m], sc, &warm)
+			c := corr.CombinedFromFit(x[t:t+m], y[t:t+m], warm.Rho, sc.Weights())
+			if c < -1 || c > 1 {
+				b.Fatal("out of range")
+			}
+		}
+	})
+}
+
+// BenchmarkCorrelationSeriesFused compares computing the Maronna and
+// Combined day series separately against the fused ComputeSeriesMulti
+// pass that shares one robust fit per window between them.
+func BenchmarkCorrelationSeriesFused(b *testing.B) {
+	dd, _ := benchDay(b, 8)
+	short := make([][]float64, len(dd.Returns))
+	for i := range short {
+		short[i] = dd.Returns[i][:300]
+	}
+	cfg := corr.EngineConfig{M: 100, Workers: 2}
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, ct := range []corr.Type{corr.Maronna, corr.Combined} {
+				c := cfg
+				c.Type = ct
+				if _, err := corr.ComputeSeries(c, short); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := corr.ComputeSeriesMulti(cfg, []corr.Type{corr.Maronna, corr.Combined}, short); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCorrelationMatrixOnline measures one streaming matrix
 // update for a 20-stock universe (190 pairs).
 func BenchmarkCorrelationMatrixOnline(b *testing.B) {

@@ -11,6 +11,7 @@
 //	mmbacktest -scale paper                 # the full 61x20x42 sweep
 //	mmbacktest -scale tiny -json out.json   # save raw results
 //	mmbacktest -print-grid                  # show Table I's 42 sets
+//	mmbacktest -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,26 +23,29 @@ import (
 
 	"marketminer"
 	"marketminer/internal/backtest"
+	"marketminer/internal/prof"
 )
 
 func main() {
 	var (
-		scale     = flag.String("scale", "tiny", "experiment scale: tiny | small | paper")
-		seed      = flag.Int64("seed", 20080301, "random seed")
-		levels    = flag.Int("levels", 0, "restrict to first N parameter levels (0 = all 14)")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		jsonOut   = flag.String("json", "", "write raw results to this JSON file")
-		boxplots  = flag.Bool("boxplots", true, "print Figure 2 box-plot statistics")
-		printGrid = flag.Bool("print-grid", false, "print the Table I parameter grid and exit")
+		scale      = flag.String("scale", "tiny", "experiment scale: tiny | small | paper")
+		seed       = flag.Int64("seed", 20080301, "random seed")
+		levels     = flag.Int("levels", 0, "restrict to first N parameter levels (0 = all 14)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		jsonOut    = flag.String("json", "", "write raw results to this JSON file")
+		boxplots   = flag.Bool("boxplots", true, "print Figure 2 box-plot statistics")
+		printGrid  = flag.Bool("print-grid", false, "print the Table I parameter grid and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a post-sweep heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*scale, *seed, *levels, *workers, *jsonOut, *boxplots, *printGrid); err != nil {
+	if err := run(*scale, *seed, *levels, *workers, *jsonOut, *boxplots, *printGrid, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "mmbacktest:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, seed int64, levels, workers int, jsonOut string, boxplots, printGrid bool) error {
+func run(scale string, seed int64, levels, workers int, jsonOut string, boxplots, printGrid bool, cpuProfile, memProfile string) error {
 	if printGrid {
 		fmt.Println("TABLE I — STRATEGY PARAMETER SETS (14 levels x 3 correlation types)")
 		for i, p := range marketminer.ParamGrid() {
@@ -80,12 +84,21 @@ func run(scale string, seed int64, levels, workers int, jsonOut string, boxplots
 	}
 	fmt.Printf("sweep: %d stocks (%d pairs) x %d days x %d levels x 3 types\n",
 		cfg.Market.Universe.Len(), cfg.Market.Universe.NumPairs(), cfg.Market.Days, nLevels)
-	start := time.Now()
-	res, err := marketminer.RunBacktest(context.Background(), cfg)
+	stopProf, err := prof.Start(cpuProfile, memProfile)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("completed in %v: %d trades\n\n", time.Since(start).Round(time.Millisecond), res.TradeCount)
+	start := time.Now()
+	res, err := marketminer.RunBacktest(context.Background(), cfg)
+	if err != nil {
+		stopProf()
+		return err
+	}
+	elapsed := time.Since(start)
+	if err := stopProf(); err != nil {
+		return err
+	}
+	fmt.Printf("completed in %v: %d trades\n\n", elapsed.Round(time.Millisecond), res.TradeCount)
 
 	fmt.Println(marketminer.FormatTableIII(res))
 	fmt.Println(marketminer.FormatTableIV(res))

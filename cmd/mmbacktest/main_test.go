@@ -9,13 +9,13 @@ import (
 )
 
 func TestRunPrintGrid(t *testing.T) {
-	if err := run("tiny", 1, 0, 1, "", false, true); err != nil {
+	if err := run("tiny", 1, 0, 1, "", false, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownScale(t *testing.T) {
-	if err := run("galactic", 1, 0, 1, "", false, false); err == nil {
+	if err := run("galactic", 1, 0, 1, "", false, false, "", ""); err == nil {
 		t.Error("unknown scale should error")
 	}
 }
@@ -24,9 +24,17 @@ func TestRunTinySweepWithJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	out := filepath.Join(t.TempDir(), "res.json")
-	if err := run("tiny", 7, 2, 1, out, true, false); err != nil {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "res.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run("tiny", 7, 2, 1, out, true, false, cpu, mem); err != nil {
 		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 	f, err := os.Open(out)
 	if err != nil {

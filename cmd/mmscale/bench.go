@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
+)
+
+// benchWindowM is the window length used for the per-window kernel
+// benchmarks. It matches the paper grid's dominant M and the
+// BenchmarkCorrelationWindow suite in bench_test.go so numbers are
+// directly comparable.
+const benchWindowM = 100
+
+type windowBench struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+type robustReport struct {
+	Windows     int     `json:"windows"`
+	WarmHits    int     `json:"warm_hits"`
+	ColdStarts  int     `json:"cold_starts"`
+	Fallbacks   int     `json:"fallbacks"`
+	WarmHitFrac float64 `json:"warm_hit_fraction"`
+	MeanIters   float64 `json:"mean_iterations"`
+	IterHist    []int   `json:"iteration_histogram"`
+}
+
+type sweepReport struct {
+	FarmSeconds       float64 `json:"farm_seconds"`
+	IntegratedSeconds float64 `json:"integrated_seconds"`
+	Trades            int64   `json:"trades"`
+}
+
+// benchReport is the BENCH_corr.json schema: per-window kernel costs
+// (cold, warm-started, and fused two-treatment), whole-day series
+// throughput, warm-start statistics, and the end-to-end approach
+// comparison wall times measured by the surrounding mmscale run.
+type benchReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	WindowM    int    `json:"window_m"`
+
+	// Cold per-window cost with scratch reuse (median/MAD init every
+	// window), keyed by correlation type.
+	ColdWindow map[string]windowBench `json:"cold_window"`
+	// Steady-state warm-started sliding Maronna window — the engine's
+	// actual per-window path.
+	WarmWindowMaronna windowBench `json:"warm_window_maronna"`
+	// One warm-started fit serving both the Maronna and Combined
+	// treatments (the fused engine's unit of work).
+	FusedWindowBothTreatments windowBench `json:"fused_window_both_treatments"`
+
+	// Whole-day parallel series cost, in ns per (pair, window), keyed
+	// by correlation type, plus the fused Maronna+Combined pass.
+	SeriesNsPerWindow      map[string]float64 `json:"series_ns_per_window"`
+	SeriesFusedNsPerWindow float64            `json:"series_fused_maronna_combined_ns_per_window"`
+
+	Robust robustReport `json:"robust"`
+	Sweep  sweepReport  `json:"sweep"`
+}
+
+func benchNs(f func(b *testing.B)) windowBench {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return windowBench{
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// writeBenchJSON runs the correlation kernel benchmark suite on the
+// already-prepared day and writes the machine-readable report.
+func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepReport) error {
+	x, y := dd.Returns[0], dd.Returns[1]
+	if len(x) <= benchWindowM {
+		return fmt.Errorf("day too short for bench: %d returns, window %d", len(x), benchWindowM)
+	}
+	steps := len(x) - benchWindowM
+
+	rep := benchReport{
+		Schema:            "marketminer/bench_corr/v1",
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		WindowM:           benchWindowM,
+		ColdWindow:        make(map[string]windowBench),
+		SeriesNsPerWindow: make(map[string]float64),
+		Sweep:             sweep,
+	}
+
+	est := corr.NewMaronnaEstimator(corr.DefaultMaronnaConfig())
+	cest := corr.NewCombinedEstimator(corr.DefaultMaronnaConfig())
+	var sink float64
+	var sc *corr.Scratch
+
+	// Every window bench slides through the same day so cold and warm
+	// numbers average over identical regimes (including breakdowns).
+	rep.ColdWindow[corr.Pearson.String()] = benchNs(func(b *testing.B) {
+		t := 0
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			sink = corr.PearsonCorr(x[t:t+benchWindowM], y[t:t+benchWindowM])
+		}
+	})
+	rep.ColdWindow[corr.Maronna.String()] = benchNs(func(b *testing.B) {
+		t := 0
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			sink, sc = est.CorrScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc)
+		}
+	})
+	rep.ColdWindow[corr.Combined.String()] = benchNs(func(b *testing.B) {
+		t := 0
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			sink, sc = cest.CorrScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc)
+		}
+	})
+
+	rep.WarmWindowMaronna = benchNs(func(b *testing.B) {
+		var warm corr.Fit
+		warm, sc = est.FitScratch(x[:benchWindowM], y[:benchWindowM], sc, nil)
+		t := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			warm, sc = est.FitScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc, &warm)
+			sink = warm.Rho
+		}
+	})
+	rep.FusedWindowBothTreatments = benchNs(func(b *testing.B) {
+		var warm corr.Fit
+		warm, sc = est.FitScratch(x[:benchWindowM], y[:benchWindowM], sc, nil)
+		t := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			warm, sc = est.FitScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc, &warm)
+			sink = corr.CombinedFromFit(x[t:t+benchWindowM], y[t:t+benchWindowM], warm.Rho, sc.Weights())
+		}
+	})
+	_ = sink
+
+	ecfg := corr.EngineConfig{M: benchWindowM, Workers: workers}
+	for _, ct := range corr.Types() {
+		ecfg.Type = ct
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cs, err := corr.ComputeSeries(ecfg, dd.Returns)
+				if err != nil {
+					b.Fatal(err)
+				}
+				windows := len(cs.Pairs) * cs.Len()
+				if windows == 0 {
+					b.Fatal("empty series")
+				}
+			}
+		})
+		cs, err := corr.ComputeSeries(ecfg, dd.Returns)
+		if err != nil {
+			return err
+		}
+		rep.SeriesNsPerWindow[ct.String()] = float64(r.NsPerOp()) / float64(len(cs.Pairs)*cs.Len())
+	}
+
+	fusedTypes := []corr.Type{corr.Maronna, corr.Combined}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := corr.ComputeSeriesMulti(ecfg, fusedTypes, dd.Returns); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	css, err := corr.ComputeSeriesMulti(ecfg, fusedTypes, dd.Returns)
+	if err != nil {
+		return err
+	}
+	// Per treatment-window: the fused pass fills two series per fit.
+	totalWindows := len(fusedTypes) * len(css[0].Pairs) * css[0].Len()
+	rep.SeriesFusedNsPerWindow = float64(r.NsPerOp()) / float64(totalWindows)
+
+	if st := css[0].Robust; st != nil {
+		rep.Robust = robustReport{
+			Windows:     st.Windows,
+			WarmHits:    st.WarmHits,
+			ColdStarts:  st.ColdStarts,
+			Fallbacks:   st.Fallbacks,
+			WarmHitFrac: float64(st.WarmHits) / float64(st.Windows),
+			MeanIters:   st.MeanIters(),
+			IterHist:    st.IterHist,
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -11,6 +11,7 @@
 //	mmscale                      # default: 10 stocks, 2 days, 2 levels
 //	mmscale -stocks 20 -days 3
 //	mmscale -ctype maronna       # unit-cost measure for one treatment
+//	mmscale -bench-json BENCH_corr.json   # machine-readable kernel benchmarks
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"marketminer/internal/backtest"
 	"marketminer/internal/corr"
 	"marketminer/internal/market"
+	"marketminer/internal/prof"
 	"marketminer/internal/report"
 	"marketminer/internal/strategy"
 	"marketminer/internal/taq"
@@ -31,21 +33,24 @@ import (
 
 func main() {
 	var (
-		stocks  = flag.Int("stocks", 10, "universe size (max 61)")
-		days    = flag.Int("days", 2, "trading days")
-		levels  = flag.Int("levels", 2, "parameter levels (max 14)")
-		seed    = flag.Int64("seed", 20080301, "data seed")
-		workers = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
-		sameM   = flag.Bool("same-m", false, "restrict levels to M=100 so every set shares one correlation series (maximum integrated-engine sharing)")
+		stocks     = flag.Int("stocks", 10, "universe size (max 61)")
+		days       = flag.Int("days", 2, "trading days")
+		levels     = flag.Int("levels", 2, "parameter levels (max 14)")
+		seed       = flag.Int64("seed", 20080301, "data seed")
+		workers    = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+		sameM      = flag.Bool("same-m", false, "restrict levels to M=100 so every set shares one correlation series (maximum integrated-engine sharing)")
+		benchJSON  = flag.String("bench-json", "", "run the correlation kernel benchmark suite and write machine-readable results to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the approach comparison to this file")
+		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*stocks, *days, *levels, *seed, *workers, *sameM); err != nil {
+	if err := run(*stocks, *days, *levels, *seed, *workers, *sameM, *benchJSON, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "mmscale:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stocks, days, levels int, seed int64, workers int, sameM bool) error {
+func run(stocks, days, levels int, seed int64, workers int, sameM bool, benchJSON, cpuProfile, memProfile string) error {
 	if stocks < 2 || stocks > 61 {
 		return fmt.Errorf("stocks must be in [2, 61]")
 	}
@@ -119,9 +124,14 @@ func run(stocks, days, levels int, seed int64, workers int, sameM bool) error {
 
 	// --- Approach comparison on the reduced workload (Section V) --
 	ctx := context.Background()
+	stopProf, err := prof.Start(cpuProfile, memProfile)
+	if err != nil {
+		return err
+	}
 	startFarm := time.Now()
 	farmRes, err := backtest.Farm(ctx, cfg)
 	if err != nil {
+		stopProf()
 		return err
 	}
 	farmSec := time.Since(startFarm).Seconds()
@@ -129,9 +139,13 @@ func run(stocks, days, levels int, seed int64, workers int, sameM bool) error {
 	startInt := time.Now()
 	intRes, err := backtest.Run(ctx, cfg)
 	if err != nil {
+		stopProf()
 		return err
 	}
 	intSec := time.Since(startInt).Seconds()
+	if err := stopProf(); err != nil {
+		return err
+	}
 
 	if farmRes.TradeCount != intRes.TradeCount {
 		return fmt.Errorf("runner mismatch: farm %d trades, integrated %d", farmRes.TradeCount, intRes.TradeCount)
@@ -146,5 +160,14 @@ func run(stocks, days, levels int, seed int64, workers int, sameM bool) error {
 		"per day and shares it across every pair and parameter set; the farm\n" +
 		"recomputes it per (pair, set), which is the asymptotic waste the paper\n" +
 		"identifies as 'the main bottleneck'.")
+
+	if benchJSON != "" {
+		fmt.Println("\nrunning correlation kernel benchmark suite ...")
+		sw := sweepReport{FarmSeconds: farmSec, IntegratedSeconds: intSec, Trades: intRes.TradeCount}
+		if err := writeBenchJSON(benchJSON, dd, workers, sw); err != nil {
+			return err
+		}
+		fmt.Printf("benchmark results saved to %s\n", benchJSON)
+	}
 	return nil
 }

@@ -244,11 +244,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		var dayTrades int64
 		for m, levelIdxs := range byM {
+			// One engine pass per (M): the robust treatments share a
+			// single warm-started Maronna fit per (pair, window), so
+			// Maronna + Combined cost one M-estimation, not two.
+			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: cfg.workers()}, types, dd.Returns)
+			if err != nil {
+				return nil, err
+			}
 			for ti, ct := range types {
-				cs, err := corr.ComputeSeries(corr.EngineConfig{Type: ct, M: m, Workers: cfg.workers()}, dd.Returns)
-				if err != nil {
-					return nil, err
-				}
+				cs := css[ti]
 				ti, levelIdxs := ti, levelIdxs
 				err = pool.Map(ctx, numPairs, func(ctx context.Context, pid int) error {
 					pr := pairs[pid]

@@ -12,7 +12,8 @@ import (
 
 // EngineConfig configures the sliding-window correlation engine.
 type EngineConfig struct {
-	// Type selects the measure (the Ctype treatment).
+	// Type selects the measure (the Ctype treatment). Ignored by
+	// ComputeSeriesMulti, which takes an explicit treatment list.
 	Type Type
 	// M is the window length in intervals: "two vectors Xi(s) and
 	// Xj(s), containing the last M log-returns".
@@ -49,6 +50,69 @@ func (c *EngineConfig) maronna() MaronnaConfig {
 	return c.Maronna
 }
 
+// RobustStats aggregates how the warm-started Maronna chain behaved
+// over one engine run: how many windows were seeded from the previous
+// window's converged fit, how many needed the O(m) median/MAD cold
+// start, and the distribution of fixed-point iteration counts. It is
+// the evidence that warm starting pays: warm windows concentrate at
+// 1–3 iterations while cold windows need 10+.
+type RobustStats struct {
+	// Windows is the number of robust windows fitted.
+	Windows int
+	// WarmHits counts windows solved by the warm-started run.
+	WarmHits int
+	// ColdStarts counts windows initialised from median/MAD (the first
+	// window of each pair, windows after a degenerate fit, and
+	// fallbacks).
+	ColdStarts int
+	// Fallbacks counts warm-started runs that failed to converge
+	// cleanly and were rerun cold (a subset of ColdStarts).
+	Fallbacks int
+	// IterHist[i] counts windows whose accepted run executed i
+	// fixed-point iterations (length MaxIter+1).
+	IterHist []int
+}
+
+func (s *RobustStats) record(f Fit, attemptedWarm bool) {
+	s.Windows++
+	if f.Seeded {
+		s.WarmHits++
+	} else {
+		s.ColdStarts++
+		if attemptedWarm {
+			s.Fallbacks++
+		}
+	}
+	if f.Iters < len(s.IterHist) {
+		s.IterHist[f.Iters]++
+	}
+}
+
+func (s *RobustStats) merge(o *RobustStats) {
+	s.Windows += o.Windows
+	s.WarmHits += o.WarmHits
+	s.ColdStarts += o.ColdStarts
+	s.Fallbacks += o.Fallbacks
+	if len(s.IterHist) < len(o.IterHist) {
+		s.IterHist = append(s.IterHist, make([]int, len(o.IterHist)-len(s.IterHist))...)
+	}
+	for i, c := range o.IterHist {
+		s.IterHist[i] += c
+	}
+}
+
+// MeanIters returns the average iteration count per window.
+func (s *RobustStats) MeanIters() float64 {
+	if s.Windows == 0 {
+		return 0
+	}
+	var total int
+	for i, c := range s.IterHist {
+		total += i * c
+	}
+	return float64(total) / float64(s.Windows)
+}
+
 // Series holds per-pair correlation time series over one trading day:
 // Corr[k][t] is the coefficient of pair Pairs[k] at grid interval
 // FirstS + t. It is the dataset the paper's Matlab Approach 1 tried to
@@ -60,6 +124,11 @@ type Series struct {
 	Pairs  []int // canonical pair ids, ascending
 	N      int   // universe order
 	Corr   [][]float64
+	// Robust carries the warm-start iteration statistics of the run
+	// that produced this series (nil for Pearson). When Maronna and
+	// Combined are computed in one fused pass both series share the
+	// same stats object.
+	Robust *RobustStats
 }
 
 // Len returns the number of intervals covered.
@@ -81,18 +150,36 @@ func (s *Series) PairSeries(pairID int) []float64 {
 	return nil
 }
 
-// ComputeSeries runs the engine over one day of log-returns.
+// ComputeSeries runs the engine over one day of log-returns for a
+// single treatment (cfg.Type). It is a thin wrapper over
+// ComputeSeriesMulti; see there for the computation contract.
+func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
+	ss, err := ComputeSeriesMulti(cfg, []Type{cfg.Type}, returns)
+	if err != nil {
+		return nil, err
+	}
+	return ss[0], nil
+}
+
+// ComputeSeriesMulti runs the engine over one day of log-returns and
+// produces one Series per requested treatment in a single pass.
 // returns[i][u] is stock i's log-return at return index u (grid
-// interval u+1); all rows must have equal length T ≥ M. The resulting
+// interval u+1); all rows must have equal length T ≥ M. Each resulting
 // Series covers grid intervals M .. T (inclusive), i.e. T−M+1 values
 // per pair.
 //
 // Pairs are sharded across workers exactly as MarketMiner sharded them
-// across MPI ranks; Pearson uses an O(1)-per-step rolling update while
-// the robust measures re-estimate each window (they are not
-// incrementally updatable, which is why the paper calls them
-// "computationally expensive and thus not commonly used").
-func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
+// across MPI ranks. Pearson uses an O(1)-per-step rolling update with
+// periodic re-anchoring; the robust treatments share one warm-started
+// Maronna fit per (pair, window) — the Combined coefficient is derived
+// from the Maronna fit's scatter weights, so requesting both halves
+// the robust work relative to two independent runs. Results are
+// bit-deterministic: the per-pair warm chain is sequential in t and
+// identical regardless of worker count.
+func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]*Series, error) {
+	if len(types) == 0 {
+		return nil, errors.New("corr: no correlation types requested")
+	}
 	n := len(returns)
 	if n < 2 {
 		return nil, errors.New("corr: need at least 2 stocks")
@@ -116,6 +203,18 @@ func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
 			}
 		}
 	}
+	seen := map[Type]bool{}
+	for _, ty := range types {
+		switch ty {
+		case Pearson, Maronna, Combined:
+		default:
+			return nil, fmt.Errorf("corr: unsupported series type %v", ty)
+		}
+		if seen[ty] {
+			return nil, fmt.Errorf("corr: duplicate series type %v", ty)
+		}
+		seen[ty] = true
+	}
 
 	pairs := cfg.Pairs
 	if pairs == nil {
@@ -125,9 +224,13 @@ func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
 		}
 	}
 	steps := T - cfg.M + 1
-	out := &Series{Type: cfg.Type, M: cfg.M, FirstS: cfg.M, Pairs: pairs, N: n, Corr: make([][]float64, len(pairs))}
-	for k := range out.Corr {
-		out.Corr[k] = make([]float64, steps)
+	outs := make([]*Series, len(types))
+	for oi, ty := range types {
+		s := &Series{Type: ty, M: cfg.M, FirstS: cfg.M, Pairs: pairs, N: n, Corr: make([][]float64, len(pairs))}
+		for k := range s.Corr {
+			s.Corr[k] = make([]float64, steps)
+		}
+		outs[oi] = s
 	}
 
 	allPairs := taq.AllPairs(n)
@@ -137,6 +240,14 @@ func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	robust := seen[Maronna] || seen[Combined]
+	var workerStats []RobustStats
+	if robust {
+		workerStats = make([]RobustStats, workers)
+		for w := range workerStats {
+			workerStats[w].IterHist = make([]int, cfg.maronna().MaxIter+1)
+		}
 	}
 	var wg sync.WaitGroup
 	chunk := (len(pairs) + workers - 1) / workers
@@ -150,60 +261,97 @@ func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			computePairRange(cfg, returns, allPairs, pairs, out, lo, hi)
-		}(lo, hi)
+			var st *RobustStats
+			if robust {
+				st = &workerStats[w]
+			}
+			computePairRange(cfg, types, returns, allPairs, pairs, outs, st, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
-	return out, nil
+
+	if robust {
+		total := &RobustStats{IterHist: make([]int, cfg.maronna().MaxIter+1)}
+		for w := range workerStats {
+			total.merge(&workerStats[w])
+		}
+		for oi, ty := range types {
+			if ty == Maronna || ty == Combined {
+				outs[oi].Robust = total
+			}
+		}
+	}
+	return outs, nil
 }
 
-// computePairRange fills out.Corr[lo:hi].
-func computePairRange(cfg EngineConfig, returns [][]float64, allPairs []taq.Pair, pairs []int, out *Series, lo, hi int) {
+// computePairRange fills outs[*].Corr[lo:hi] for every requested
+// treatment. The robust treatments share one warm-started fit per
+// window; st (non-nil iff a robust treatment is requested) collects the
+// iteration statistics of this worker's shard.
+func computePairRange(cfg EngineConfig, types []Type, returns [][]float64, allPairs []taq.Pair, pairs []int, outs []*Series, st *RobustStats, lo, hi int) {
 	m := cfg.M
 	T := len(returns[0])
-	switch cfg.Type {
-	case Pearson:
-		for k := lo; k < hi; k++ {
-			p := allPairs[pairs[k]]
-			rollingPearson(returns[p.I], returns[p.J], m, out.Corr[k])
+	var pearsonDst, maronnaDst, combinedDst [][]float64
+	for oi, ty := range types {
+		switch ty {
+		case Pearson:
+			pearsonDst = outs[oi].Corr
+		case Maronna:
+			maronnaDst = outs[oi].Corr
+		case Combined:
+			combinedDst = outs[oi].Corr
 		}
-	case Maronna:
-		est := NewMaronnaEstimator(cfg.maronna())
-		var sc *Scratch
-		for k := lo; k < hi; k++ {
-			p := allPairs[pairs[k]]
-			x, y := returns[p.I], returns[p.J]
-			for t := 0; t+m <= T; t++ {
-				out.Corr[k][t], sc = est.CorrScratch(x[t:t+m], y[t:t+m], sc)
-			}
+	}
+
+	var est *MaronnaEstimator
+	var sc *Scratch
+	if maronnaDst != nil || combinedDst != nil {
+		est = NewMaronnaEstimator(cfg.maronna())
+	}
+	for k := lo; k < hi; k++ {
+		p := allPairs[pairs[k]]
+		x, y := returns[p.I], returns[p.J]
+		if pearsonDst != nil {
+			rollingPearson(x, y, m, pearsonDst[k])
 		}
-	case Combined:
-		est := NewCombinedEstimator(cfg.maronna())
-		var sc *Scratch
-		for k := lo; k < hi; k++ {
-			p := allPairs[pairs[k]]
-			x, y := returns[p.I], returns[p.J]
-			for t := 0; t+m <= T; t++ {
-				out.Corr[k][t], sc = est.CorrScratch(x[t:t+m], y[t:t+m], sc)
+		if est == nil {
+			continue
+		}
+		// One robust fit per window, warm-started from the previous
+		// window's converged state; each pair starts its own chain.
+		var warm Fit
+		for t := 0; t+m <= T; t++ {
+			attempted := warm.Valid
+			var f Fit
+			f, sc = est.FitScratch(x[t:t+m], y[t:t+m], sc, &warm)
+			st.record(f, attempted)
+			if maronnaDst != nil {
+				maronnaDst[k][t] = f.Rho
 			}
+			if combinedDst != nil {
+				combinedDst[k][t] = CombinedFromFit(x[t:t+m], y[t:t+m], f.Rho, sc.Weights())
+			}
+			warm = f
 		}
 	}
 }
 
+// pearsonReanchorEvery bounds floating-point drift in the O(1) rolling
+// Pearson updates: the five running sums are recomputed from the raw
+// window every this-many steps, so rounding error cannot accumulate
+// over more than one block (a full 780-interval day would otherwise
+// compound 779 incremental updates).
+const pearsonReanchorEvery = 128
+
 // rollingPearson fills dst[t] with the Pearson correlation of
-// x[t:t+m], y[t:t+m] using O(1) sliding-window updates.
+// x[t:t+m], y[t:t+m] using O(1) sliding-window updates, re-anchoring
+// the running sums from scratch every pearsonReanchorEvery steps.
 func rollingPearson(x, y []float64, m int, dst []float64) {
-	var sx, sy, sxx, syy, sxy float64
-	for i := 0; i < m; i++ {
-		sx += x[i]
-		sy += y[i]
-		sxx += x[i] * x[i]
-		syy += y[i] * y[i]
-		sxy += x[i] * y[i]
-	}
+	steps := len(x) - m + 1
 	fm := float64(m)
+	var sx, sy, sxx, syy, sxy float64
 	emit := func(t int) {
 		vx := sxx - sx*sx/fm
 		vy := syy - sy*sy/fm
@@ -213,16 +361,30 @@ func rollingPearson(x, y []float64, m int, dst []float64) {
 		}
 		dst[t] = clampCorr((sxy - sx*sy/fm) / math.Sqrt(vx*vy))
 	}
-	emit(0)
-	for t := 1; t+m <= len(x); t++ {
-		ox, oy := x[t-1], y[t-1]
-		nx, ny := x[t+m-1], y[t+m-1]
-		sx += nx - ox
-		sy += ny - oy
-		sxx += nx*nx - ox*ox
-		syy += ny*ny - oy*oy
-		sxy += nx*ny - ox*oy
-		emit(t)
+	for base := 0; base < steps; base += pearsonReanchorEvery {
+		sx, sy, sxx, syy, sxy = 0, 0, 0, 0, 0
+		for i := base; i < base+m; i++ {
+			sx += x[i]
+			sy += y[i]
+			sxx += x[i] * x[i]
+			syy += y[i] * y[i]
+			sxy += x[i] * y[i]
+		}
+		emit(base)
+		end := base + pearsonReanchorEvery
+		if end > steps {
+			end = steps
+		}
+		for t := base + 1; t < end; t++ {
+			ox, oy := x[t-1], y[t-1]
+			nx, ny := x[t+m-1], y[t+m-1]
+			sx += nx - ox
+			sy += ny - oy
+			sxx += nx*nx - ox*ox
+			syy += ny*ny - oy*oy
+			sxy += nx*ny - ox*oy
+			emit(t)
+		}
 	}
 }
 
@@ -239,6 +401,8 @@ type OnlineEngine struct {
 	count   int
 	scratch [][]float64 // contiguous window copies, one per stock
 	pool    []*Scratch  // per-worker robust scratch
+	pairs   []taq.Pair  // cached pair table
+	fits    []Fit       // per-pair warm-start state (robust types only)
 }
 
 // NewOnlineEngine builds a streaming engine over an n-stock universe.
@@ -259,6 +423,12 @@ func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
 	e.pool = make([]*Scratch, cfg.workers())
 	for i := range e.pool {
 		e.pool[i] = &Scratch{}
+	}
+	e.pairs = taq.AllPairs(n)
+	if cfg.Type == Maronna || cfg.Type == Combined {
+		// Successive pushes slide each pair's window by one point, so
+		// the previous matrix's converged fits seed the next one.
+		e.fits = make([]Fit, len(e.pairs))
 	}
 	return e, nil
 }
@@ -301,10 +471,11 @@ func (e *OnlineEngine) Push(rets []float64) (*Matrix, error) {
 }
 
 // matrix computes all pairwise coefficients of the current scratch
-// windows in parallel.
+// windows in parallel. The worker→pair sharding is identical on every
+// push, so each worker owns its slice of the warm-start states.
 func (e *OnlineEngine) matrix() *Matrix {
 	m := NewMatrix(e.n)
-	pairs := taq.AllPairs(e.n)
+	pairs := e.pairs
 	workers := len(e.pool)
 	if workers > len(pairs) {
 		workers = len(pairs)
@@ -330,20 +501,18 @@ func (e *OnlineEngine) matrix() *Matrix {
 					p := pairs[k]
 					m.SetPair(k, PearsonCorr(e.scratch[p.I], e.scratch[p.J]))
 				}
-			case Maronna:
+			case Maronna, Combined:
 				est := NewMaronnaEstimator(e.cfg.maronna())
 				for k := lo; k < hi; k++ {
 					p := pairs[k]
-					var c float64
-					c, sc = est.CorrScratch(e.scratch[p.I], e.scratch[p.J], sc)
-					m.SetPair(k, c)
-				}
-			case Combined:
-				est := NewCombinedEstimator(e.cfg.maronna())
-				for k := lo; k < hi; k++ {
-					p := pairs[k]
-					var c float64
-					c, sc = est.CorrScratch(e.scratch[p.I], e.scratch[p.J], sc)
+					x, y := e.scratch[p.I], e.scratch[p.J]
+					var f Fit
+					f, sc = est.FitScratch(x, y, sc, &e.fits[k])
+					e.fits[k] = f
+					c := f.Rho
+					if e.cfg.Type == Combined {
+						c = CombinedFromFit(x, y, f.Rho, sc.Weights())
+					}
 					m.SetPair(k, c)
 				}
 			}

@@ -2,7 +2,6 @@ package corr
 
 import (
 	"math"
-	"sort"
 )
 
 // MaronnaConfig tunes the bivariate Maronna M-estimator iteration.
@@ -61,6 +60,9 @@ func NewMaronnaEstimator(cfg MaronnaConfig) *MaronnaEstimator {
 	return &MaronnaEstimator{cfg: cfg}
 }
 
+// Config returns the estimator's (validated) configuration.
+func (e *MaronnaEstimator) Config() MaronnaConfig { return e.cfg }
+
 // Type implements Estimator.
 func (e *MaronnaEstimator) Type() Type { return Maronna }
 
@@ -73,25 +75,56 @@ func (e *MaronnaEstimator) Corr(x, y []float64) float64 {
 // Scratch holds reusable per-worker buffers for the iteration.
 type Scratch struct {
 	w    []float64 // final per-observation scatter weights
-	sbuf []float64 // sorting buffer for medians
+	sbuf []float64 // selection buffer for medians
 }
 
-// Weights returns the per-observation weights of the last CorrScratch
-// call (valid until the next call). The Combined estimator feeds them
-// into a weighted Pearson computation.
+// Weights returns the per-observation weights of the last fit (valid
+// until the next call). The Combined estimator feeds them into a
+// weighted Pearson computation.
 func (s *Scratch) Weights() []float64 { return s.w }
+
+// Fit is the result of one Maronna estimation: the location/scatter
+// state the iteration converged to, the correlation read off it, and
+// bookkeeping about how the fit was obtained. A converged Fit is
+// reusable as the warm seed for the next overlapping window of the
+// same pair (consecutive sliding windows share m−1 of m points, so the
+// previous fixed point is an excellent initial iterate).
+type Fit struct {
+	T1, T2        float64 // robust location
+	V11, V22, V12 float64 // robust scatter
+	Rho           float64 // correlation coefficient in [-1, 1]
+	Iters         int     // fixed-point iterations executed
+	Converged     bool    // tolerance reached within MaxIter
+	Seeded        bool    // produced by a warm-started run
+	Valid         bool    // T/V usable as a warm seed for the next window
+}
 
 // CorrScratch computes the Maronna correlation using (and growing) the
 // provided scratch buffers; pass nil to allocate fresh ones. It returns
-// the coefficient and the scratch for reuse.
+// the coefficient and the scratch for reuse. Always a cold start; the
+// sliding-window engines use FitScratch to chain warm starts.
 func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *Scratch) {
+	f, sc := e.FitScratch(x, y, sc, nil)
+	return f.Rho, sc
+}
+
+// FitScratch computes the Maronna fit of (x, y). When warm points to a
+// Valid previous fit (typically the converged fit of the overlapping
+// previous window), the iteration starts from that location/scatter
+// instead of the O(m) median/MAD initialisation, which both skips the
+// selection work and cuts the iteration count to the few steps needed
+// to absorb the one-point window change. A warm run that fails to
+// converge cleanly (scatter collapse or iteration budget exhausted)
+// falls back to the classic cold start, so warm starting never changes
+// which fixed point is reported — only how fast it is reached.
+func (e *MaronnaEstimator) FitScratch(x, y []float64, sc *Scratch, warm *Fit) (Fit, *Scratch) {
 	n := len(x)
 	if sc == nil {
 		sc = &Scratch{}
 	}
 	if n == 0 || n != len(y) {
 		sc.w = sc.w[:0]
-		return 0, sc
+		return Fit{}, sc
 	}
 	if cap(sc.w) < n {
 		sc.w = make([]float64, n)
@@ -103,8 +136,21 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 		sc.w[i] = 1
 	}
 
+	if warm != nil && warm.Valid {
+		if f, ok := e.iterate(x, y, sc, warm.T1, warm.T2, warm.V11, warm.V22, warm.V12, true); ok {
+			f.Seeded = true
+			return f, sc
+		}
+		// The strict run may have left partial weights behind; restore
+		// the all-ones state the cold path starts from so degenerate
+		// cold exits keep their classic Combined semantics.
+		for i := range sc.w {
+			sc.w[i] = 1
+		}
+	}
+
 	// Robust initialisation: coordinate-wise median location and
-	// MAD-based diagonal scatter with the sample cross-moment.
+	// MAD-based diagonal scatter with zero cross-scatter.
 	t1 := medianInto(sc.sbuf, x)
 	t2 := medianInto(sc.sbuf, y)
 	s1 := madInto(sc.sbuf, x, t1)
@@ -117,21 +163,49 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 	}
 	if s1 == 0 || s2 == 0 {
 		// A genuinely constant series has no defined correlation.
-		return 0, sc
+		return Fit{}, sc
 	}
-	v11 := s1 * s1
-	v22 := s2 * s2
-	var v12 float64 // start from zero cross-scatter: no spurious sign
+	f, _ := e.iterate(x, y, sc, t1, t2, s1*s1, s2*s2, 0, false)
+	return f, sc
+}
 
+// iterate runs the Maronna fixed-point loop from the given initial
+// location/scatter. In strict mode (warm starts) any scatter collapse
+// or exhaustion of the iteration budget returns ok = false so the
+// caller can rerun cold; in non-strict mode (cold starts) it
+// reproduces the classic behaviour — break on collapse and accept the
+// final state.
+//
+// The plain fixed-point map contracts only linearly (rate ≈ 0.4 on
+// typical return windows, so ~20 steps to Tol = 1e-8), which makes the
+// iteration count — not the per-step O(m) passes — the dominant cost.
+// iterate therefore applies safeguarded Anderson(1)/Aitken
+// extrapolation across consecutive steps: the mixing parameter is the
+// least-squares fit of the last two residuals, and an extrapolated
+// state is used only when it keeps the scatter positive definite
+// (otherwise the plain update proceeds unchanged). Convergence is
+// still declared on the residual of the plain map, so the accepted
+// fixed point satisfies the same tolerance as the unaccelerated loop.
+func (e *MaronnaEstimator) iterate(x, y []float64, sc *Scratch, t1, t2, v11, v22, v12 float64, strict bool) (Fit, bool) {
+	n := len(x)
 	k := e.cfg.K
 	k2 := k * k
+	converged := false
+	iters := 0
+	// Previous step's map output and residual for the extrapolation.
+	var pg, pf [5]float64
+	havePrev := false
 	for iter := 0; iter < e.cfg.MaxIter; iter++ {
 		det := v11*v22 - v12*v12
 		if det <= 0 || v11 <= 0 || v22 <= 0 {
 			// Scatter collapsed (perfectly dependent or degenerate
 			// sample): read the correlation off the current V.
+			if strict {
+				return Fit{}, false
+			}
 			break
 		}
+		iters = iter + 1
 		// Inverse of the 2x2 scatter.
 		i11 := v22 / det
 		i22 := v11 / det
@@ -151,6 +225,9 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 			sy += w * y[i]
 		}
 		if sw == 0 {
+			if strict {
+				return Fit{}, false
+			}
 			break
 		}
 		t1n, t2n := sx/sw, sy/sw
@@ -177,31 +254,60 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 		// Relative change of the scatter for the stopping rule.
 		den := math.Abs(v11) + math.Abs(v22) + math.Abs(v12)
 		num := math.Abs(n11-v11) + math.Abs(n22-v22) + math.Abs(n12-v12)
+		g := [5]float64{t1n, t2n, n11, n22, n12}
+		f := [5]float64{t1n - t1, t2n - t2, n11 - v11, n22 - v22, n12 - v12}
 		t1, t2 = t1n, t2n
 		v11, v22, v12 = n11, n22, n12
 		if den > 0 && num/den < e.cfg.Tol {
+			converged = true
 			break
 		}
+
+		// Anderson(1) extrapolation from the last two plain steps.
+		if havePrev {
+			var fd, dd float64
+			for c := 0; c < 5; c++ {
+				d := f[c] - pf[c]
+				fd += f[c] * d
+				dd += d * d
+			}
+			if dd > 0 {
+				if theta := fd / dd; math.Abs(theta) < 16 {
+					a1 := t1n - theta*(t1n-pg[0])
+					a2 := t2n - theta*(t2n-pg[1])
+					a11 := n11 - theta*(n11-pg[2])
+					a22 := n22 - theta*(n22-pg[3])
+					a12 := n12 - theta*(n12-pg[4])
+					// Safeguard: extrapolate only onto a usable scatter.
+					if a11 > 0 && a22 > 0 && a11*a22-a12*a12 > 0 {
+						t1, t2 = a1, a2
+						v11, v22, v12 = a11, a22, a12
+					}
+				}
+			}
+		}
+		pg, pf = g, f
+		havePrev = true
 	}
+	if strict && !converged {
+		return Fit{}, false
+	}
+	f := Fit{T1: t1, T2: t2, V11: v11, V22: v22, V12: v12, Iters: iters, Converged: converged}
 	if v11 <= 0 || v22 <= 0 {
-		return 0, sc
+		return f, false
 	}
-	return clampCorr(v12 / math.Sqrt(v11*v22)), sc
+	f.Rho = clampCorr(v12 / math.Sqrt(v11*v22))
+	// Only cleanly converged scatters seed the next window: a collapsed
+	// or budget-exhausted state would poison the warm chain.
+	f.Valid = converged && v11*v22-v12*v12 > 0
+	return f, true
 }
 
-// medianInto computes the median of xs using buf as sorting space.
+// medianInto computes the median of xs using buf as selection space.
 func medianInto(buf, xs []float64) float64 {
 	buf = buf[:len(xs)]
 	copy(buf, xs)
-	sort.Float64s(buf)
-	n := len(buf)
-	if n == 0 {
-		return 0
-	}
-	if n%2 == 1 {
-		return buf[n/2]
-	}
-	return (buf[n/2-1] + buf[n/2]) / 2
+	return medianSelect(buf)
 }
 
 // madInto computes the median absolute deviation about center, scaled
@@ -211,18 +317,7 @@ func madInto(buf, xs []float64, center float64) float64 {
 	for i, x := range xs {
 		buf[i] = math.Abs(x - center)
 	}
-	sort.Float64s(buf)
-	n := len(buf)
-	if n == 0 {
-		return 0
-	}
-	var med float64
-	if n%2 == 1 {
-		med = buf[n/2]
-	} else {
-		med = (buf[n/2-1] + buf[n/2]) / 2
-	}
-	return 1.4826 * med
+	return 1.4826 * medianSelect(buf)
 }
 
 // tinyScale falls back to the standard deviation when the MAD is zero
@@ -268,10 +363,21 @@ func (e *CombinedEstimator) Corr(x, y []float64) float64 {
 
 // CorrScratch computes the Combined coefficient with reusable scratch.
 func (e *CombinedEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *Scratch) {
-	mc, sc := e.m.CorrScratch(x, y, sc)
-	if len(sc.w) != len(x) {
-		return mc, sc
+	f, sc := e.m.FitScratch(x, y, sc, nil)
+	return CombinedFromFit(x, y, f.Rho, sc.w), sc
+}
+
+// CombinedFromFit derives the Combined coefficient from an
+// already-computed Maronna fit: the 50/50 blend of the robust
+// coefficient and the Pearson coefficient under the fit's robustness
+// weights. The sliding-window engines use it to serve the Combined
+// treatment from the Maronna treatment's fit instead of re-running the
+// full M-estimation — the fits for the identical (pair, M, window) are
+// the same, so robust work is done once per window, not twice.
+func CombinedFromFit(x, y []float64, maronnaRho float64, w []float64) float64 {
+	if len(w) != len(x) {
+		return maronnaRho
 	}
-	wp := WeightedPearson(x, y, sc.w)
-	return clampCorr((mc + wp) / 2), sc
+	wp := WeightedPearson(x, y, w)
+	return clampCorr((maronnaRho + wp) / 2)
 }

@@ -1,0 +1,97 @@
+package corr
+
+// Order-statistic selection for the robust initialisation. The cold
+// start of every Maronna fit needs three medians (two locations, one
+// MAD per coordinate); the sort-based version cost O(m log m) each,
+// which dominated cold windows. Quickselect gives the same order
+// statistics in expected O(m).
+
+// insertionThreshold is the partition size below which selectKth
+// finishes with insertion sort; tiny partitions are faster to sort
+// than to keep partitioning.
+const insertionThreshold = 12
+
+// selectKth partially reorders buf so that buf[k] holds the k-th
+// smallest element (0-based), everything before it is ≤ buf[k] and
+// everything after it is ≥ buf[k]. Iterative Hoare quickselect with a
+// median-of-three pivot; expected O(len(buf)), and deterministic for a
+// given input ordering. buf must contain no NaNs (the engine validates
+// returns upstream).
+func selectKth(buf []float64, k int) {
+	lo, hi := 0, len(buf)-1
+	for hi-lo >= insertionThreshold {
+		// Median-of-three pivot: order buf[lo], buf[mid], buf[hi] and
+		// use the middle value. This defeats the O(m²) sorted/reverse
+		// cases that matter for slowly-varying return windows.
+		mid := lo + (hi-lo)/2
+		if buf[mid] < buf[lo] {
+			buf[mid], buf[lo] = buf[lo], buf[mid]
+		}
+		if buf[hi] < buf[lo] {
+			buf[hi], buf[lo] = buf[lo], buf[hi]
+		}
+		if buf[hi] < buf[mid] {
+			buf[hi], buf[mid] = buf[mid], buf[hi]
+		}
+		pivot := buf[mid]
+
+		// Hoare partition around the pivot value.
+		i, j := lo, hi
+		for i <= j {
+			for buf[i] < pivot {
+				i++
+			}
+			for buf[j] > pivot {
+				j--
+			}
+			if i <= j {
+				buf[i], buf[j] = buf[j], buf[i]
+				i++
+				j--
+			}
+		}
+		// Recurse (iteratively) into the side holding k only.
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return // j < k < i: buf[k] already in final position
+		}
+	}
+	// Small remainder: insertion sort settles every position in [lo, hi].
+	for i := lo + 1; i <= hi; i++ {
+		v := buf[i]
+		j := i - 1
+		for j >= lo && buf[j] > v {
+			buf[j+1] = buf[j]
+			j--
+		}
+		buf[j+1] = v
+	}
+}
+
+// medianSelect returns the median of buf, reordering it in place.
+// Exact same value as sorting and reading the middle element(s), in
+// expected O(len(buf)).
+func medianSelect(buf []float64) float64 {
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	h := n / 2
+	selectKth(buf, h)
+	m := buf[h]
+	if n%2 == 1 {
+		return m
+	}
+	// Even length: the (h-1)-th order statistic is the maximum of the
+	// left partition, which selectKth left entirely ≤ buf[h].
+	lo := buf[0]
+	for _, v := range buf[1:h] {
+		if v > lo {
+			lo = v
+		}
+	}
+	return (lo + m) / 2
+}

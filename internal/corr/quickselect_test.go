@@ -1,0 +1,102 @@
+package corr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortMedian is the reference the selection-based median must match
+// exactly (same order statistics, same even-length averaging).
+func sortMedian(xs []float64) float64 {
+	buf := append([]float64(nil), xs...)
+	sort.Float64s(buf)
+	n := len(buf)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return buf[n/2]
+	}
+	return (buf[n/2-1] + buf[n/2]) / 2
+}
+
+func TestSelectKthMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		buf := append([]float64(nil), xs...)
+		selectKth(buf, k)
+		if buf[k] != sorted[k] {
+			t.Fatalf("trial %d: selectKth(%d) = %v, want %v", trial, k, buf[k], sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if buf[i] > buf[k] {
+				t.Fatalf("trial %d: left partition violated at %d", trial, i)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if buf[i] < buf[k] {
+				t.Fatalf("trial %d: right partition violated at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMedianSelectMatchesSortMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	// Adversarial shapes for quickselect: sorted, reverse-sorted,
+	// constant, two-valued, and odd/even lengths down to 1.
+	cases := [][]float64{
+		{3.5},
+		{2, 1},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		{15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+		{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0},
+	}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(20)) // heavy duplication
+		}
+		cases = append(cases, xs)
+	}
+	for ci, xs := range cases {
+		want := sortMedian(xs)
+		buf := append([]float64(nil), xs...)
+		if got := medianSelect(buf); got != want {
+			t.Fatalf("case %d (n=%d): medianSelect = %v, want %v", ci, len(xs), got, want)
+		}
+	}
+}
+
+func TestMedianIntoMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	buf := make([]float64, 256)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(250)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		orig := append([]float64(nil), xs...)
+		if got, want := medianInto(buf[:n], xs), sortMedian(xs); got != want {
+			t.Fatalf("medianInto = %v, want %v", got, want)
+		}
+		// medianInto must not disturb the input.
+		for i := range xs {
+			if xs[i] != orig[i] {
+				t.Fatal("input mutated")
+			}
+		}
+	}
+}

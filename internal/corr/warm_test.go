@@ -1,0 +1,243 @@
+package corr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"marketminer/internal/clean"
+	"marketminer/internal/market"
+	"marketminer/internal/series"
+	"marketminer/internal/taq"
+)
+
+// marketReturns generates one synthetic trading day with heavy
+// contamination and correlation breakdowns — the regimes where the
+// robust estimator's iteration is stressed hardest — and runs it
+// through the production cleaning/sampling path to log-return rows.
+func marketReturns(t testing.TB, stocks int, seed int64) [][]float64 {
+	t.Helper()
+	uni, err := taq.NewUniverse(taq.DefaultSymbols()[:stocks])
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := market.DefaultConfig()
+	mc.Universe = uni
+	mc.Days = 1
+	mc.Seed = seed
+	mc.Contamination = 0.02 // heavy: forces real outlier down-weighting
+	mc.BreakdownsPerDay = 10
+	gen, err := market.NewGenerator(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc = gen.Config()
+	md, err := gen.GenerateDay(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleaned, _ := clean.Clean(clean.Config{}, md.Quotes)
+	grid, err := series.NewGrid(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := series.NewSampler(grid, mc.Universe)
+	for _, q := range cleaned {
+		sm.Add(q)
+	}
+	pg := sm.Finish()
+	if err := series.Backfill(pg); err != nil {
+		t.Fatal(err)
+	}
+	return series.ReturnGrid(pg)
+}
+
+// TestWarmStartMatchesColdStart is the warm-start equivalence property
+// test: every coefficient of a warm-chained engine run must agree with
+// an independent cold-start fit of the same window to well inside the
+// estimator's convergence tolerance, on realistic contaminated market
+// data and across treatments.
+func TestWarmStartMatchesColdStart(t *testing.T) {
+	rets := marketReturns(t, 6, 20080301)
+	const m = 60
+	est := NewMaronnaEstimator(DefaultMaronnaConfig())
+	cest := NewCombinedEstimator(DefaultMaronnaConfig())
+
+	css, err := ComputeSeriesMulti(EngineConfig{M: m, Workers: 3}, []Type{Maronna, Combined}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maronna, combined := css[0], css[1]
+
+	var sc *Scratch
+	var checked, coldIters int
+	allPairs := taq.AllPairs(maronna.N)
+	for k, pid := range maronna.Pairs {
+		x := rets[allPairs[pid].I]
+		y := rets[allPairs[pid].J]
+		// Every 7th window keeps the test fast while still covering
+		// breakdown and contamination segments across the day.
+		for w := 0; w < maronna.Len(); w += 7 {
+			var cf Fit
+			cf, sc = est.FitScratch(x[w:w+m], y[w:w+m], sc, nil)
+			coldIters += cf.Iters
+			if d := math.Abs(maronna.Corr[k][w] - cf.Rho); d > 1e-6 {
+				t.Fatalf("pair %d window %d: warm Maronna %v vs cold %v (|Δ|=%v)",
+					pid, w, maronna.Corr[k][w], cf.Rho, d)
+			}
+			var cold float64
+			cold, sc = cest.CorrScratch(x[w:w+m], y[w:w+m], sc)
+			if d := math.Abs(combined.Corr[k][w] - cold); d > 1e-6 {
+				t.Fatalf("pair %d window %d: warm Combined %v vs cold %v (|Δ|=%v)",
+					pid, w, combined.Corr[k][w], cold, d)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no windows checked")
+	}
+
+	st := maronna.Robust
+	if st == nil || st.Windows == 0 {
+		t.Fatal("no robust stats collected")
+	}
+	if st.Windows != maronna.Len()*len(maronna.Pairs) {
+		t.Errorf("stats cover %d windows, want %d", st.Windows, maronna.Len()*len(maronna.Pairs))
+	}
+	if st.WarmHits+st.ColdStarts != st.Windows {
+		t.Errorf("warm %d + cold %d != windows %d", st.WarmHits, st.ColdStarts, st.Windows)
+	}
+	var hist int
+	for _, c := range st.IterHist {
+		hist += c
+	}
+	if hist != st.Windows {
+		t.Errorf("iteration histogram sums to %d, want %d", hist, st.Windows)
+	}
+	// The win itself: overwhelmingly warm windows (each of which skips
+	// the O(m) median/MAD initialisation entirely) and fewer mean
+	// iterations than the cold chain measured above on the same
+	// sampled windows.
+	if frac := float64(st.WarmHits) / float64(st.Windows); frac < 0.9 {
+		t.Errorf("warm-hit fraction %.3f, want ≥ 0.9", frac)
+	}
+	coldMean := float64(coldIters) / float64(checked)
+	if mi := st.MeanIters(); mi >= coldMean {
+		t.Errorf("warm mean iterations %.2f not below cold mean %.2f", mi, coldMean)
+	}
+}
+
+// TestComputeSeriesMultiMatchesSingle pins the fusion contract: the
+// fused Maronna+Combined pass must emit bit-identical series to the
+// single-treatment runs (which share the same warm-chain code path).
+func TestComputeSeriesMultiMatchesSingle(t *testing.T) {
+	rets := marketReturns(t, 5, 7)
+	const m = 50
+	css, err := ComputeSeriesMulti(EngineConfig{M: m, Workers: 2}, []Type{Pearson, Maronna, Combined}, rets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oi, ty := range []Type{Pearson, Maronna, Combined} {
+		single, err := ComputeSeries(EngineConfig{Type: ty, M: m, Workers: 2}, rets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range single.Corr {
+			for w := range single.Corr[k] {
+				if single.Corr[k][w] != css[oi].Corr[k][w] {
+					t.Fatalf("%v: fused and single runs differ at pair %d window %d: %v vs %v",
+						ty, k, w, css[oi].Corr[k][w], single.Corr[k][w])
+				}
+			}
+		}
+	}
+}
+
+// TestComputeSeriesMultiDeterministic asserts run-to-run bit
+// determinism of the warm-started engine, including with different
+// worker counts (the warm chain is per-pair and sequential in t, so
+// sharding must not affect it).
+func TestComputeSeriesMultiDeterministic(t *testing.T) {
+	rets := marketReturns(t, 5, 99)
+	const m = 40
+	run := func(workers int) []*Series {
+		css, err := ComputeSeriesMulti(EngineConfig{M: m, Workers: workers}, []Type{Maronna, Combined}, rets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return css
+	}
+	a, b, c := run(3), run(3), run(8)
+	for oi := range a {
+		for k := range a[oi].Corr {
+			for w := range a[oi].Corr[k] {
+				if a[oi].Corr[k][w] != b[oi].Corr[k][w] {
+					t.Fatalf("run-to-run nondeterminism at series %d pair %d window %d", oi, k, w)
+				}
+				if a[oi].Corr[k][w] != c[oi].Corr[k][w] {
+					t.Fatalf("worker count changed result at series %d pair %d window %d", oi, k, w)
+				}
+			}
+		}
+	}
+	if a[0].Robust.Windows != b[0].Robust.Windows || a[0].Robust.WarmHits != b[0].Robust.WarmHits {
+		t.Error("robust stats differ between identical runs")
+	}
+}
+
+// TestComputeSeriesMultiValidation covers the request-shape errors.
+func TestComputeSeriesMultiValidation(t *testing.T) {
+	rets := [][]float64{make([]float64, 30), make([]float64, 30)}
+	if _, err := ComputeSeriesMulti(EngineConfig{M: 10}, nil, rets); err == nil {
+		t.Error("empty type list should error")
+	}
+	if _, err := ComputeSeriesMulti(EngineConfig{M: 10}, []Type{Maronna, Maronna}, rets); err == nil {
+		t.Error("duplicate types should error")
+	}
+	if _, err := ComputeSeriesMulti(EngineConfig{M: 10}, []Type{Type(99)}, rets); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+// TestMaronnaSteadyStateZeroAllocs is the allocation-regression gate:
+// once the per-worker scratch is warm, the sliding Maronna window loop
+// (warm-started fits and the Combined derivation included) must not
+// allocate.
+func TestMaronnaSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const m, T = 100, 400
+	x := make([]float64, T)
+	y := make([]float64, T)
+	for i := range x {
+		f := rng.NormFloat64()
+		x[i] = f + 0.3*rng.NormFloat64()
+		y[i] = f + 0.3*rng.NormFloat64()
+	}
+	est := NewMaronnaEstimator(DefaultMaronnaConfig())
+	sc := &Scratch{}
+	var warm Fit
+	// Warm the scratch and the chain.
+	warm, sc = est.FitScratch(x[:m], y[:m], sc, nil)
+	tt := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		tt = (tt + 1) % (T - m)
+		var f Fit
+		f, sc = est.FitScratch(x[tt:tt+m], y[tt:tt+m], sc, &warm)
+		_ = CombinedFromFit(x[tt:tt+m], y[tt:tt+m], f.Rho, sc.Weights())
+		warm = f
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state window loop allocates %.1f times per window, want 0", allocs)
+	}
+
+	// Cold starts must also be allocation-free once scratch is sized
+	// (the quickselect init works entirely in scratch buffers).
+	allocs = testing.AllocsPerRun(200, func() {
+		tt = (tt + 1) % (T - m)
+		_, sc = est.CorrScratch(x[tt:tt+m], y[tt:tt+m], sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("cold window loop allocates %.1f times per window, want 0", allocs)
+	}
+}

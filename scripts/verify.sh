@@ -14,4 +14,7 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke: go test -run '^\$' -bench . -benchtime 1x ./..."
+go test -run '^$' -bench . -benchtime 1x ./...
+
 echo "verify: OK"
