@@ -9,14 +9,20 @@ import (
 )
 
 func TestRunPrintGrid(t *testing.T) {
-	if err := run("tiny", 1, 0, 1, "", false, true, "", ""); err != nil {
+	if err := run(options{scale: "tiny", seed: 1, workers: 1, printGrid: true, shard: "0/1"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownScale(t *testing.T) {
-	if err := run("galactic", 1, 0, 1, "", false, false, "", ""); err == nil {
+	if err := run(options{scale: "galactic", seed: 1, workers: 1, shard: "0/1"}); err == nil {
 		t.Error("unknown scale should error")
+	}
+}
+
+func TestRunRejectsShardWithoutJournal(t *testing.T) {
+	if err := run(options{scale: "tiny", seed: 1, workers: 1, shard: "0/2"}); err == nil {
+		t.Error("sharding without a journal should error")
 	}
 }
 
@@ -28,7 +34,9 @@ func TestRunTinySweepWithJSON(t *testing.T) {
 	out := filepath.Join(dir, "res.json")
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	if err := run("tiny", 7, 2, 1, out, true, false, cpu, mem); err != nil {
+	o := options{scale: "tiny", seed: 7, levels: 2, workers: 1, jsonOut: out,
+		boxplots: true, cpuProfile: cpu, memProfile: mem, shard: "0/1"}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range []string{cpu, mem} {
@@ -47,5 +55,35 @@ func TestRunTinySweepWithJSON(t *testing.T) {
 	}
 	if res.NumPairs() != 28 || len(res.Levels) != 2 {
 		t.Errorf("saved sweep shape wrong: %d pairs, %d levels", res.NumPairs(), len(res.Levels))
+	}
+}
+
+// TestRunJournaledSweep drives the checkpointed single-process path
+// end to end: the journal is created, the sweep completes, and the
+// merged-from-journal result is rendered and saved like the in-memory
+// path's.
+func TestRunJournaledSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "res.json")
+	o := options{scale: "tiny", seed: 7, levels: 2, workers: 1, jsonOut: out,
+		journal: filepath.Join(dir, "s.journal"), shard: "0/1", block: 10}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := backtest.LoadJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	// Second invocation resumes a finished journal: everything is
+	// restored, nothing re-runs, tables render again.
+	if err := run(o); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,49 +1,77 @@
-// Command mmreport renders the paper's tables from raw sweep results
-// saved by "mmbacktest -json". It lets the expensive sweep run once
-// while the analysis (Tables III–V, Figure 2, per-pair extremes) is
-// re-rendered cheaply.
+// Command mmreport renders the paper's tables from raw sweep results.
+// It consumes either a JSON results file saved by "mmbacktest -json",
+// or — for sharded sweeps — the per-shard checkpoint journals, which
+// it merges into the full result before rendering. The expensive sweep
+// runs once (possibly split across machines); the analysis (Tables
+// III–V, Figure 2, per-pair extremes) re-renders cheaply.
 //
 // Usage:
 //
 //	mmreport -in results.json
-//	mmreport -in results.json -top 5     # also list best/worst pairs
+//	mmreport -in results.json -top 5       # also list best/worst pairs
+//	mmreport -merge 'shard*.journal'       # combine sharded sweep journals
+//	mmreport -merge s0.journal,s1.journal -out merged.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"marketminer/internal/backtest"
 	"marketminer/internal/report"
+	"marketminer/internal/sweep"
 	"marketminer/internal/taq"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "", "JSON results file from mmbacktest -json")
-		top = flag.Int("top", 0, "list the N best and worst pairs per treatment")
+		in    = flag.String("in", "", "JSON results file from mmbacktest -json")
+		merge = flag.String("merge", "", "comma-separated sweep journals (globs allowed) to merge into the full result")
+		out   = flag.String("out", "", "write the (merged) result to this JSON file")
+		top   = flag.Int("top", 0, "list the N best and worst pairs per treatment")
 	)
 	flag.Parse()
-	if err := run(*in, *top); err != nil {
+	if err := run(*in, *merge, *out, *top); err != nil {
 		fmt.Fprintln(os.Stderr, "mmreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, top int) error {
-	if in == "" {
-		return fmt.Errorf("-in is required")
+func run(in, merge, out string, top int) error {
+	if (in == "") == (merge == "") {
+		return fmt.Errorf("exactly one of -in or -merge is required")
 	}
-	f, err := os.Open(in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	res, err := backtest.LoadJSON(f)
-	if err != nil {
-		return err
+	var res *backtest.Result
+	switch {
+	case merge != "":
+		paths, err := expandPaths(merge)
+		if err != nil {
+			return err
+		}
+		var rep *sweep.MergeReport
+		res, rep, err = sweep.MergeFiles(paths)
+		if rep != nil {
+			for _, c := range rep.Corrupt {
+				fmt.Printf("warning: %v\n", c)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(report.MergeSummary(rep.Files, rep.ShardCount, rep.Units, rep.UnitsTotal, rep.Duplicates, len(rep.Corrupt)))
+	default:
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if res, err = backtest.LoadJSON(f); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("loaded sweep: %d stocks (%d pairs), %d days, %d levels x %d types, %d trades\n\n",
 		res.Universe.Len(), res.NumPairs(), res.Days, len(res.Levels), len(res.Types), res.TradeCount)
@@ -83,5 +111,47 @@ func run(in string, top int) error {
 			fmt.Println()
 		}
 	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := backtest.SaveJSON(f, res); err != nil {
+			return err
+		}
+		fmt.Printf("result saved to %s\n", out)
+	}
 	return nil
+}
+
+// expandPaths splits a comma-separated list and expands glob patterns,
+// so both "-merge s0.journal,s1.journal" and "-merge 'shard*.journal'"
+// work.
+func expandPaths(spec string) ([]string, error) {
+	var paths []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.ContainsAny(part, "*?[") {
+			matches, err := filepath.Glob(part)
+			if err != nil {
+				return nil, fmt.Errorf("bad glob %q: %w", part, err)
+			}
+			if len(matches) == 0 {
+				return nil, fmt.Errorf("glob %q matched no journals", part)
+			}
+			sort.Strings(matches)
+			paths = append(paths, matches...)
+			continue
+		}
+		paths = append(paths, part)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no journal paths in %q", spec)
+	}
+	return paths, nil
 }

@@ -54,9 +54,16 @@ type benchReport struct {
 	// Steady-state warm-started sliding Maronna window — the engine's
 	// actual per-window path.
 	WarmWindowMaronna windowBench `json:"warm_window_maronna"`
+	// Both treatments computed as independent estimations per window
+	// (warm Maronna chain plus a separate Combined estimation) — the
+	// pre-fusion engine's cost and the baseline for the fused number.
+	UnfusedWindowBothTreatments windowBench `json:"unfused_window_both_treatments"`
 	// One warm-started fit serving both the Maronna and Combined
 	// treatments (the fused engine's unit of work).
 	FusedWindowBothTreatments windowBench `json:"fused_window_both_treatments"`
+	// Unfused / fused ns ratio, so the fusion win reads straight off
+	// the report.
+	FusionSpeedup float64 `json:"fusion_speedup"`
 
 	// Whole-day parallel series cost, in ns per (pair, window), keyed
 	// by correlation type, plus the fused Maronna+Combined pass.
@@ -89,7 +96,7 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 	steps := len(x) - benchWindowM
 
 	rep := benchReport{
-		Schema:            "marketminer/bench_corr/v1",
+		Schema:            "marketminer/bench_corr/v2",
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		WindowM:           benchWindowM,
 		ColdWindow:        make(map[string]windowBench),
@@ -137,6 +144,17 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 			sink = warm.Rho
 		}
 	})
+	rep.UnfusedWindowBothTreatments = benchNs(func(b *testing.B) {
+		var warm corr.Fit
+		warm, sc = est.FitScratch(x[:benchWindowM], y[:benchWindowM], sc, nil)
+		t := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t = (t + 1) % steps
+			warm, sc = est.FitScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc, &warm)
+			sink, sc = cest.CorrScratch(x[t:t+benchWindowM], y[t:t+benchWindowM], sc)
+		}
+	})
 	rep.FusedWindowBothTreatments = benchNs(func(b *testing.B) {
 		var warm corr.Fit
 		warm, sc = est.FitScratch(x[:benchWindowM], y[:benchWindowM], sc, nil)
@@ -148,6 +166,9 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 			sink = corr.CombinedFromFit(x[t:t+benchWindowM], y[t:t+benchWindowM], warm.Rho, sc.Weights())
 		}
 	})
+	if f := rep.FusedWindowBothTreatments.NsPerOp; f > 0 {
+		rep.FusionSpeedup = float64(rep.UnfusedWindowBothTreatments.NsPerOp) / float64(f)
+	}
 	_ = sink
 
 	ecfg := corr.EngineConfig{M: benchWindowM, Workers: workers}

@@ -54,26 +54,39 @@ type Config struct {
 	Progress func(day, totalDays, trades int)
 }
 
-func (c Config) workers() int {
+// ResolvedWorkers returns the effective worker count (GOMAXPROCS when
+// Workers ≤ 0).
+func (c Config) ResolvedWorkers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
 }
 
-func (c Config) levels() []strategy.Params {
+// ResolvedLevels returns the effective non-treatment parameter vectors
+// K′ (strategy.BaseGrid when Levels is nil). Sweep decomposition and
+// the runners must agree on this resolution, so it is exported.
+func (c Config) ResolvedLevels() []strategy.Params {
 	if c.Levels != nil {
 		return c.Levels
 	}
 	return strategy.BaseGrid()
 }
 
-func (c Config) types() []corr.Type {
+// ResolvedTypes returns the effective correlation treatments
+// (corr.Types when Types is nil).
+func (c Config) ResolvedTypes() []corr.Type {
 	if c.Types != nil {
 		return c.Types
 	}
 	return corr.Types()
 }
+
+func (c Config) workers() int { return c.ResolvedWorkers() }
+
+func (c Config) levels() []strategy.Params { return c.ResolvedLevels() }
+
+func (c Config) types() []corr.Type { return c.ResolvedTypes() }
 
 // Result is the collected return data of one sweep.
 type Result struct {
@@ -174,9 +187,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// tradeReturns converts completed trades to per-trade returns, net of
-// the configured cost model.
-func tradeReturns(cfg Config, trades []strategy.Trade) []float64 {
+// TradeReturns converts completed trades to per-trade returns, net of
+// the configured cost model. It is the single conversion point shared
+// by all runners (and the sweep orchestrator), so every execution path
+// prices trades identically.
+func TradeReturns(cfg Config, trades []strategy.Trade) []float64 {
 	rets := make([]float64, len(trades))
 	halfBps := cfg.Market.HalfSpreadBps
 	for i, tr := range trades {
@@ -262,7 +277,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 						if err != nil {
 							return err
 						}
-						res.Series[pid][ti*len(levels)+li].Daily[d] = tradeReturns(cfg, trades)
+						res.Series[pid][ti*len(levels)+li].Daily[d] = TradeReturns(cfg, trades)
 					}
 					return nil
 				})

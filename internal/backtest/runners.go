@@ -99,7 +99,7 @@ func Farm(ctx context.Context, cfg Config) (*Result, error) {
 			if err != nil {
 				return err
 			}
-			res.Series[pid][k].Daily[d] = tradeReturns(cfg, trades)
+			res.Series[pid][k].Daily[d] = TradeReturns(cfg, trades)
 		}
 		return nil
 	})

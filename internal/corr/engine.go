@@ -88,7 +88,10 @@ func (s *RobustStats) record(f Fit, attemptedWarm bool) {
 	}
 }
 
-func (s *RobustStats) merge(o *RobustStats) {
+// Merge folds another run's statistics into s, extending the
+// iteration histogram as needed. The sweep orchestrator uses it to
+// aggregate warm-start telemetry across many per-block engine passes.
+func (s *RobustStats) Merge(o *RobustStats) {
 	s.Windows += o.Windows
 	s.WarmHits += o.WarmHits
 	s.ColdStarts += o.ColdStarts
@@ -275,7 +278,7 @@ func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]
 	if robust {
 		total := &RobustStats{IterHist: make([]int, cfg.maronna().MaxIter+1)}
 		for w := range workerStats {
-			total.merge(&workerStats[w])
+			total.Merge(&workerStats[w])
 		}
 		for oi, ty := range types {
 			if ty == Maronna || ty == Combined {

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"time"
+)
+
+// ProgressLine renders one sweep progress line — the operator-facing
+// counterpart of the machine-readable sweep manifest: shard identity,
+// units done/total with percentage, live throughput, extrapolated time
+// to finish, trade count, and the robust kernel's warm-start hit rate.
+func ProgressLine(shard string, done, total int, rate float64, eta time.Duration, trades int64, warmFrac float64) string {
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	etaStr := "--"
+	if eta > 0 {
+		etaStr = eta.Round(time.Second).String()
+	}
+	return fmt.Sprintf("shard %s: %d/%d units (%5.1f%%)  %6.2f units/s  eta %-8s  %d trades  warm %5.1f%%",
+		shard, done, total, pct, rate, etaStr, trades, 100*warmFrac)
+}
+
+// MergeSummary renders what a journal merge combined: how many shard
+// journals, how much of the sweep they cover, and any anomalies
+// (duplicate units, healed corruption) worth an operator's glance.
+func MergeSummary(files, shardCount, units, unitsTotal, duplicates, corrupt int) string {
+	s := fmt.Sprintf("merged %d journal(s) (%d-way sweep): %d/%d units", files, shardCount, units, unitsTotal)
+	if duplicates > 0 {
+		s += fmt.Sprintf(", %d duplicate entries (last wins)", duplicates)
+	}
+	if corrupt > 0 {
+		s += fmt.Sprintf(", %d journal(s) had damaged tails", corrupt)
+	}
+	return s
+}

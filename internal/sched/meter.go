@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Meter tracks completion throughput for a fixed-size workload: jobs
+// done out of a known total, the rate since the meter started, and the
+// extrapolated time to finish. It is the observability companion to
+// Pool — the pool executes the array job, the meter answers "how far
+// along is the sweep and when will it finish", the two questions an
+// SGE qstat gives for a running array job.
+//
+// All methods are safe for concurrent use.
+type Meter struct {
+	mu      sync.Mutex
+	total   int64
+	done    int64
+	skipped int64
+	start   time.Time
+
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+// NewMeter returns a meter over total jobs, starting its clock
+// immediately.
+func NewMeter(total int64) *Meter {
+	m := &Meter{total: total}
+	m.start = m.now()
+	return m
+}
+
+func (m *Meter) now() time.Time {
+	if m.Now != nil {
+		return m.Now()
+	}
+	return time.Now()
+}
+
+// Add records n more jobs completed by this run.
+func (m *Meter) Add(n int64) {
+	m.mu.Lock()
+	m.done += n
+	m.mu.Unlock()
+}
+
+// Skip records n jobs satisfied without work — typically restored from
+// a checkpoint journal. Skipped jobs count toward Done but not toward
+// the rate, so the ETA after a resume reflects only the live
+// throughput of this run.
+func (m *Meter) Skip(n int64) {
+	m.mu.Lock()
+	m.skipped += n
+	m.mu.Unlock()
+}
+
+// Progress is a point-in-time snapshot of a metered workload.
+type Progress struct {
+	// Done counts finished jobs, including checkpoint-restored ones;
+	// Total is the workload size.
+	Done, Total int64
+	// Elapsed is the wall time since the meter started.
+	Elapsed time.Duration
+	// Rate is live jobs per second since start, excluding
+	// checkpoint-restored jobs (0 until time passes).
+	Rate float64
+	// ETA extrapolates the remaining work at the observed rate; it is
+	// 0 when done or when no rate is measurable yet.
+	ETA time.Duration
+}
+
+// Snapshot returns the current progress.
+func (m *Meter) Snapshot() Progress {
+	m.mu.Lock()
+	done, skipped := m.done, m.skipped
+	m.mu.Unlock()
+	elapsed := m.now().Sub(m.start)
+	p := Progress{Done: done + skipped, Total: m.total, Elapsed: elapsed}
+	if elapsed > 0 && done > 0 {
+		p.Rate = float64(done) / elapsed.Seconds()
+		if remaining := m.total - done - skipped; remaining > 0 && p.Rate > 0 {
+			p.ETA = time.Duration(float64(remaining) / p.Rate * float64(time.Second))
+		}
+	}
+	return p
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMeterRateAndETA(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(100)
+	m.Now = func() time.Time { return now }
+	m.start = now
+
+	now = now.Add(10 * time.Second)
+	m.Add(20)
+	p := m.Snapshot()
+	if p.Done != 20 || p.Total != 100 {
+		t.Fatalf("done/total = %d/%d", p.Done, p.Total)
+	}
+	if p.Rate != 2 {
+		t.Fatalf("rate = %v, want 2", p.Rate)
+	}
+	if p.ETA != 40*time.Second {
+		t.Fatalf("eta = %v, want 40s", p.ETA)
+	}
+}
+
+func TestMeterSkipExcludedFromRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(100)
+	m.Now = func() time.Time { return now }
+	m.start = now
+
+	m.Skip(80) // checkpoint-restored work
+	now = now.Add(10 * time.Second)
+	m.Add(10)
+	p := m.Snapshot()
+	if p.Done != 90 {
+		t.Fatalf("done = %d, want 90 (restored + live)", p.Done)
+	}
+	if p.Rate != 1 {
+		t.Fatalf("rate = %v, want 1 (live only)", p.Rate)
+	}
+	if p.ETA != 10*time.Second {
+		t.Fatalf("eta = %v, want 10s for the 10 remaining", p.ETA)
+	}
+}
+
+func TestMeterNoProgressNoETA(t *testing.T) {
+	m := NewMeter(10)
+	p := m.Snapshot()
+	if p.Rate != 0 || p.ETA != 0 {
+		t.Fatalf("fresh meter rate/eta = %v/%v, want zeros", p.Rate, p.ETA)
+	}
+}

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestSchema versions the progress manifest format.
+const ManifestSchema = "marketminer/sweep-manifest/v1"
+
+// Manifest is the machine-readable progress snapshot a shard writes
+// alongside its journal. External schedulers poll it instead of
+// parsing log lines: it answers how far along the shard is, how fast
+// it is going, when it will finish, and how healthy the robust
+// kernel's warm-start chain is.
+type Manifest struct {
+	Schema      string `json:"schema"`
+	Fingerprint string `json:"fingerprint"`
+	Shard       int    `json:"shard"`
+	Of          int    `json:"of"`
+	BlockSize   int    `json:"block_size"`
+
+	// UnitsDone / UnitsTotal cover this shard; SweepUnits is the whole
+	// sweep across all shards.
+	UnitsDone  int `json:"units_done"`
+	UnitsTotal int `json:"units_total"`
+	SweepUnits int `json:"sweep_units"`
+
+	Trades         int64   `json:"trades"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	UnitsPerSecond float64 `json:"units_per_second"`
+	EtaSeconds     float64 `json:"eta_seconds"`
+
+	Warm RobustSummary `json:"warm"`
+
+	// Done marks a shard that has completed every one of its units.
+	Done bool `json:"done"`
+}
+
+func manifestFrom(h Header, info ProgressInfo, warm RobustSummary, done bool) Manifest {
+	return Manifest{
+		Schema:         ManifestSchema,
+		Fingerprint:    h.Fingerprint,
+		Shard:          h.ShardIndex,
+		Of:             h.ShardCount,
+		BlockSize:      h.BlockSize,
+		UnitsDone:      info.Done,
+		UnitsTotal:     info.Total,
+		SweepUnits:     info.SweepUnits,
+		Trades:         info.Trades,
+		ElapsedSeconds: info.Elapsed.Seconds(),
+		UnitsPerSecond: info.Rate,
+		EtaSeconds:     info.ETA.Seconds(),
+		Warm:           warm,
+		Done:           done,
+	}
+}
+
+// writeManifest replaces the manifest atomically (write to a temp file
+// in the same directory, then rename) so a poller never observes a
+// half-written snapshot.
+func writeManifest(path string, m Manifest) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(b, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadManifest loads a shard progress manifest.
+func ReadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", path, err)
+	}
+	if m.Schema != ManifestSchema {
+		return nil, fmt.Errorf("sweep: manifest %s: schema %q, want %q", path, m.Schema, ManifestSchema)
+	}
+	return &m, nil
+}

@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
+	"marketminer/internal/metrics"
+	"marketminer/internal/taq"
+)
+
+// MergeReport describes what MergeFiles combined.
+type MergeReport struct {
+	// Files is the number of journals read; ShardCount is the sweep's
+	// shard width n.
+	Files, ShardCount int
+	// Units and UnitsTotal count distinct completed units vs the
+	// sweep's full decomposition.
+	Units, UnitsTotal int
+	// Duplicates counts entries that re-recorded an already-seen unit
+	// (e.g. the same shard journal passed twice); the last occurrence
+	// wins, and because units are deterministic duplicates are always
+	// bit-identical.
+	Duplicates int
+	// Corrupt lists healed-tail reports of damaged journals; the units
+	// a damaged tail held are missing, so a corrupt journal usually
+	// also implies an incomplete merge until its shard is re-run.
+	Corrupt []*Corruption
+}
+
+// MergeFiles combines per-shard journals into the full sweep Result —
+// the dataset Tables III–V and Figure 2 are computed from. The
+// journals must all come from the same sweep (identical configuration
+// fingerprints) and together cover every unit; partial coverage is an
+// error naming the missing shard indexes, because a silently
+// incomplete Result would bias every aggregate.
+//
+// Merging is pure assembly — no recomputation — so merged output is
+// bit-identical to a single-process backtest.Run of the same
+// configuration.
+func MergeFiles(paths []string) (*backtest.Result, *MergeReport, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("sweep: no journals to merge")
+	}
+	rep := &MergeReport{Files: len(paths)}
+	var ref *journalData
+	datas := make([]*journalData, 0, len(paths))
+	for _, p := range paths {
+		d, err := readJournal(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if d.Corrupt != nil {
+			rep.Corrupt = append(rep.Corrupt, d.Corrupt)
+		}
+		if ref == nil {
+			ref = d
+		} else {
+			if d.Header.Fingerprint != ref.Header.Fingerprint {
+				return nil, nil, fmt.Errorf("sweep: %s records a different sweep (fingerprint %s) than %s (%s)",
+					p, d.Header.Fingerprint, paths[0], ref.Header.Fingerprint)
+			}
+			if d.Header.ShardCount != ref.Header.ShardCount {
+				return nil, nil, fmt.Errorf("sweep: %s is shard %d/%d but %s is %d/%d — mixed shard widths cannot merge",
+					p, d.Header.ShardIndex, d.Header.ShardCount, paths[0], ref.Header.ShardIndex, ref.Header.ShardCount)
+			}
+		}
+		datas = append(datas, d)
+	}
+	h := ref.Header
+	rep.ShardCount = h.ShardCount
+	rep.UnitsTotal = h.UnitsTotal
+
+	uni, err := taq.NewUniverse(h.Symbols)
+	if err != nil {
+		return nil, nil, err
+	}
+	var types []corr.Type
+	for _, name := range h.Types {
+		t, err := corr.ParseType(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		types = append(types, t)
+	}
+	plan := &Plan{
+		Levels:    h.Levels,
+		Types:     types,
+		Days:      h.Days,
+		NumPairs:  uni.NumPairs(),
+		BlockSize: h.BlockSize,
+	}
+	if plan.NumUnits() != h.UnitsTotal {
+		return nil, nil, fmt.Errorf("sweep: journal header inconsistent: %d units declared, %d derived", h.UnitsTotal, plan.NumUnits())
+	}
+
+	res := &backtest.Result{Universe: uni, Levels: h.Levels, Types: types, Days: h.Days}
+	res.Series = make([][]metrics.PairParamSeries, plan.NumPairs)
+	for p := range res.Series {
+		res.Series[p] = make([]metrics.PairParamSeries, plan.NumParams())
+		for k := range res.Series[p] {
+			res.Series[p][k].Daily = make([][]float64, plan.Days)
+		}
+	}
+
+	seen := make(map[int]bool, h.UnitsTotal)
+	for _, d := range datas {
+		for _, e := range d.Entries {
+			u := plan.UnitFromID(e.U)
+			lo, hi := plan.BlockRange(u.Block)
+			if len(e.Rets) != hi-lo {
+				return nil, nil, fmt.Errorf("sweep: unit %d has %d pair rows, want %d", e.U, len(e.Rets), hi-lo)
+			}
+			if seen[e.U] {
+				rep.Duplicates++
+			}
+			seen[e.U] = true
+			for i, rets := range e.Rets {
+				res.Series[lo+i][u.Param].Daily[u.Day] = rets
+			}
+		}
+	}
+	rep.Units = len(seen)
+	if rep.Units != h.UnitsTotal {
+		missing := missingShards(plan, seen, h.ShardCount)
+		return nil, rep, fmt.Errorf("sweep: merge incomplete: %d/%d units present; shards with missing work: %v",
+			rep.Units, h.UnitsTotal, missing)
+	}
+
+	for p := range res.Series {
+		for k := range res.Series[p] {
+			for _, day := range res.Series[p][k].Daily {
+				res.TradeCount += int64(len(day))
+			}
+		}
+	}
+	return res, rep, nil
+}
+
+// missingShards lists which shard indexes own at least one missing
+// unit — the actionable part of an incomplete-merge error.
+func missingShards(plan *Plan, seen map[int]bool, n int) []int {
+	set := map[int]bool{}
+	for id := 0; id < plan.NumUnits(); id++ {
+		if !seen[id] {
+			set[plan.GroupOwner(id/plan.NumParams(), n)] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

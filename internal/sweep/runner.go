@@ -1,0 +1,377 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
+	"marketminer/internal/market"
+	"marketminer/internal/sched"
+	"marketminer/internal/strategy"
+	"marketminer/internal/taq"
+)
+
+// RunConfig configures one orchestrated shard run.
+type RunConfig struct {
+	// Config is the sweep to decompose — the same configuration every
+	// cooperating shard must be started with.
+	Config backtest.Config
+	// BlockSize is the pairs-per-block granularity; ≤ 0 means
+	// DefaultBlockSize. All shards must agree (it is fingerprinted).
+	BlockSize int
+	// Shard selects this process's slice of the groups; the zero value
+	// is invalid, use Shard{0, 1} for a single process.
+	Shard Shard
+	// JournalPath is the checkpoint journal for this shard (required).
+	JournalPath string
+	// ManifestPath receives the machine-readable progress manifest;
+	// empty means JournalPath + ".manifest".
+	ManifestPath string
+	// Progress, when non-nil, receives periodic progress snapshots.
+	Progress func(ProgressInfo)
+	// ProgressEvery rate-limits Progress and manifest writes; ≤ 0
+	// means every completed unit (tests) — the CLI passes ~2 s.
+	ProgressEvery time.Duration
+	// Limit, when > 0, stops cleanly after executing that many units
+	// in this invocation (checkpoint-budgeted operation); the run
+	// reports Paused and a later invocation resumes.
+	Limit int
+}
+
+func (rc RunConfig) manifestPath() string {
+	if rc.ManifestPath != "" {
+		return rc.ManifestPath
+	}
+	return rc.JournalPath + ".manifest"
+}
+
+// ProgressInfo is one observability snapshot of a running shard.
+type ProgressInfo struct {
+	Shard Shard
+	// Done/Total count this shard's units (Done includes
+	// checkpoint-restored units).
+	Done, Total int
+	// SweepUnits is the whole sweep's unit count across all shards.
+	SweepUnits int
+	// Trades counts trades recorded by this shard so far.
+	Trades int64
+	// Elapsed, Rate and ETA come from the live sched.Meter: rate and
+	// ETA measure only this invocation's throughput.
+	Elapsed time.Duration
+	Rate    float64
+	ETA     time.Duration
+	// WarmHitFraction is the robust estimator's warm-start hit rate so
+	// far (0 when no robust window has been fitted yet).
+	WarmHitFraction float64
+}
+
+// RobustSummary aggregates corr.RobustStats over every engine pass of
+// one run.
+type RobustSummary struct {
+	Windows         int     `json:"windows"`
+	WarmHits        int     `json:"warm_hits"`
+	ColdStarts      int     `json:"cold_starts"`
+	Fallbacks       int     `json:"fallbacks"`
+	WarmHitFraction float64 `json:"warm_hit_fraction"`
+	MeanIters       float64 `json:"mean_iterations"`
+}
+
+// RunStats reports what one Run invocation did.
+type RunStats struct {
+	Shard Shard
+	// UnitsTotal is this shard's unit count; UnitsExecuted were run
+	// now, UnitsSkipped were restored from the journal.
+	UnitsTotal, UnitsExecuted, UnitsSkipped int
+	// Trades counts trades across all of this shard's completed units
+	// (restored + executed).
+	Trades int64
+	// Paused reports that Limit stopped the run before the shard
+	// finished; the journal holds everything completed so far.
+	Paused bool
+	// Recovered is non-nil when a damaged journal tail was detected
+	// and healed before running.
+	Recovered *Corruption
+	// Warm summarises the robust kernel's warm-start behaviour over
+	// the units executed now.
+	Warm RobustSummary
+}
+
+// Run executes this shard's share of the sweep, skipping units already
+// checkpointed in the journal and appending every newly completed unit
+// to it. Interrupt it at any point — kill, crash, context cancel,
+// Limit — and a later Run with the same RunConfig resumes exactly
+// where it stopped; the merged output is bit-identical to an
+// uninterrupted single-process sweep because every unit's value is
+// independent of scheduling (per-pair warm-start chains never cross
+// units).
+func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
+	if err := rc.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	if rc.JournalPath == "" {
+		return nil, fmt.Errorf("sweep: RunConfig.JournalPath is required")
+	}
+	cfg := rc.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := market.NewGenerator(cfg.Market)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Market = gen.Config()
+	plan, err := NewPlan(cfg, rc.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	uni := cfg.Market.Universe
+	header := Header{
+		Schema:      JournalSchema,
+		Fingerprint: Fingerprint(cfg, plan.BlockSize),
+		ShardIndex:  rc.Shard.Index,
+		ShardCount:  rc.Shard.Count,
+		BlockSize:   plan.BlockSize,
+		Symbols:     uni.Symbols(),
+		Days:        plan.Days,
+		Levels:      plan.Levels,
+		UnitsTotal:  plan.NumUnits(),
+	}
+	for _, t := range plan.Types {
+		header.Types = append(header.Types, t.String())
+	}
+
+	journal, done, recovered, err := OpenJournal(rc.JournalPath, header)
+	if err != nil {
+		return nil, err
+	}
+	defer journal.Close()
+
+	// This shard's groups and the units still missing from its
+	// journal, in deterministic id order. Limit truncates the missing
+	// list, which is what makes budgeted runs resumable mid-group.
+	var groups []int
+	shardUnits := 0
+	missingByGroup := map[int][]Unit{}
+	var missingTotal int
+	stats := &RunStats{Shard: rc.Shard, Recovered: recovered}
+	for gid := 0; gid < plan.NumGroups(); gid++ {
+		if plan.GroupOwner(gid, rc.Shard.Count) != rc.Shard.Index {
+			continue
+		}
+		day, block := gid/plan.NumBlocks(), gid%plan.NumBlocks()
+		shardUnits += plan.NumParams()
+		for k := 0; k < plan.NumParams(); k++ {
+			u := Unit{Day: day, Block: block, Param: k}
+			if n, ok := done[plan.UnitID(u)]; ok {
+				stats.UnitsSkipped++
+				stats.Trades += int64(n)
+				continue
+			}
+			if rc.Limit > 0 && missingTotal >= rc.Limit {
+				stats.Paused = true
+				continue
+			}
+			if len(missingByGroup[gid]) == 0 {
+				groups = append(groups, gid)
+			}
+			missingByGroup[gid] = append(missingByGroup[gid], u)
+			missingTotal++
+		}
+	}
+	stats.UnitsTotal = shardUnits
+	sort.Ints(groups)
+
+	meter := sched.NewMeter(int64(shardUnits))
+	meter.Skip(int64(stats.UnitsSkipped))
+	var trades, executed atomic.Int64
+	trades.Store(stats.Trades)
+
+	// Warm-start statistics aggregate across groups under a lock; the
+	// progress path reads a consistent snapshot.
+	var warmMu sync.Mutex
+	warm := corr.RobustStats{}
+
+	var progressMu sync.Mutex
+	var lastProgress time.Time
+	emitProgress := func() {
+		progressMu.Lock()
+		if rc.ProgressEvery > 0 && time.Since(lastProgress) < rc.ProgressEvery {
+			progressMu.Unlock()
+			return
+		}
+		lastProgress = time.Now()
+		progressMu.Unlock()
+
+		snap := meter.Snapshot()
+		warmMu.Lock()
+		ws := summarize(&warm)
+		warmMu.Unlock()
+		info := ProgressInfo{
+			Shard:           rc.Shard,
+			Done:            int(snap.Done),
+			Total:           shardUnits,
+			SweepUnits:      plan.NumUnits(),
+			Trades:          trades.Load(),
+			Elapsed:         snap.Elapsed,
+			Rate:            snap.Rate,
+			ETA:             snap.ETA,
+			WarmHitFraction: ws.WarmHitFraction,
+		}
+		if rc.Progress != nil {
+			rc.Progress(info)
+		}
+		writeManifest(rc.manifestPath(), manifestFrom(header, info, ws, false))
+	}
+
+	// Day preparation is cached per day: groups of the same day share
+	// one generate→clean→sample pass regardless of which worker gets
+	// there first.
+	type dayOnce struct {
+		once sync.Once
+		dd   *backtest.DayData
+		err  error
+	}
+	dayCache := make([]dayOnce, plan.Days)
+	prepareDay := func(d int) (*backtest.DayData, error) {
+		c := &dayCache[d]
+		c.once.Do(func() { c.dd, c.err = backtest.PrepareDay(cfg, gen, d) })
+		return c.dd, c.err
+	}
+
+	pairs := taq.AllPairs(uni.Len())
+	pool := sched.New(cfg.ResolvedWorkers())
+	err = pool.Map(ctx, len(groups), func(ctx context.Context, gi int) error {
+		gid := groups[gi]
+		units := missingByGroup[gid]
+		day, block := gid/plan.NumBlocks(), gid%plan.NumBlocks()
+		dd, err := prepareDay(day)
+		if err != nil {
+			return err
+		}
+		lo, hi := plan.BlockRange(block)
+		blockPairs := make([]int, hi-lo)
+		for i := range blockPairs {
+			blockPairs[i] = lo + i
+		}
+
+		// Group the group's missing units by window M and compute each
+		// needed correlation series once — the fused robust path
+		// serves Maronna and Combined from a single fit per window,
+		// exactly as the integrated runner does.
+		byM := map[int]map[corr.Type][]Unit{}
+		for _, u := range units {
+			p := plan.Param(u.Param)
+			tm, ok := byM[p.M]
+			if !ok {
+				tm = map[corr.Type][]Unit{}
+				byM[p.M] = tm
+			}
+			tm[p.Ctype] = append(tm[p.Ctype], u)
+		}
+		ms := make([]int, 0, len(byM))
+		for m := range byM {
+			ms = append(ms, m)
+		}
+		sort.Ints(ms)
+		for _, m := range ms {
+			needed := byM[m]
+			var types []corr.Type
+			for _, t := range plan.Types {
+				if _, ok := needed[t]; ok {
+					types = append(types, t)
+				}
+			}
+			// Workers: 1 — parallelism lives at the group level; the
+			// warm chains are per-pair so worker count never changes
+			// results, only contention.
+			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: 1, Pairs: blockPairs}, types, dd.Returns)
+			if err != nil {
+				return err
+			}
+			// All robust series of one fused pass share a single stats
+			// object; find it past any Pearson series and count it once.
+			for _, cs := range css {
+				if cs.Robust != nil {
+					warmMu.Lock()
+					warm.Merge(cs.Robust)
+					warmMu.Unlock()
+					break
+				}
+			}
+			for ti, t := range types {
+				cs := css[ti]
+				for _, u := range needed[t] {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					p := plan.Param(u.Param)
+					e := Entry{U: plan.UnitID(u), Rets: make([][]float64, hi-lo)}
+					var unitTrades int64
+					for i, pid := range blockPairs {
+						pr := pairs[pid]
+						tr, err := strategy.RunDay(p, cs.Corr[i], cs.FirstS, dd.PG, pr.I, pr.J, u.Day)
+						if err != nil {
+							return err
+						}
+						e.Rets[i] = backtest.TradeReturns(cfg, tr)
+						unitTrades += int64(len(e.Rets[i]))
+					}
+					if err := journal.Append(e); err != nil {
+						return err
+					}
+					trades.Add(unitTrades)
+					meter.Add(1)
+					executed.Add(1)
+					emitProgress()
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := journal.Close(); err != nil {
+		return nil, err
+	}
+
+	stats.Trades = trades.Load()
+	stats.UnitsExecuted = int(executed.Load())
+	warmMu.Lock()
+	stats.Warm = summarize(&warm)
+	warmMu.Unlock()
+	finished := stats.UnitsSkipped+stats.UnitsExecuted == shardUnits && !stats.Paused
+	snap := meter.Snapshot()
+	info := ProgressInfo{
+		Shard: rc.Shard, Done: int(snap.Done), Total: shardUnits,
+		SweepUnits: plan.NumUnits(), Trades: stats.Trades,
+		Elapsed: snap.Elapsed, Rate: snap.Rate, ETA: snap.ETA,
+		WarmHitFraction: stats.Warm.WarmHitFraction,
+	}
+	if err := writeManifest(rc.manifestPath(), manifestFrom(header, info, stats.Warm, finished)); err != nil {
+		return nil, err
+	}
+	if rc.Progress != nil {
+		rc.Progress(info)
+	}
+	return stats, nil
+}
+
+func summarize(st *corr.RobustStats) RobustSummary {
+	s := RobustSummary{
+		Windows:    st.Windows,
+		WarmHits:   st.WarmHits,
+		ColdStarts: st.ColdStarts,
+		Fallbacks:  st.Fallbacks,
+		MeanIters:  st.MeanIters(),
+	}
+	if st.Windows > 0 {
+		s.WarmHitFraction = float64(st.WarmHits) / float64(st.Windows)
+	}
+	return s
+}

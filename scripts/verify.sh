@@ -8,13 +8,27 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== package docs: every internal package documents itself"
+for d in internal/*/; do
+    name=$(basename "$d")
+    if ! grep -l -r "^// Package $name " "$d" --include='*.go' >/dev/null 2>&1; then
+        echo "missing package doc: $d" >&2
+        exit 1
+    fi
+done
+
 echo "== go build ./..."
 go build ./...
+
+echo "== go test -race ./internal/sweep ./internal/sched (orchestrator focus)"
+go test -race ./internal/sweep ./internal/sched
 
 echo "== go test -race ./..."
 go test -race ./...
 
 echo "== bench smoke: go test -run '^\$' -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x ./...
+
+sh scripts/sweep_smoke.sh
 
 echo "verify: OK"
