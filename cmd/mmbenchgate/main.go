@@ -1,0 +1,146 @@
+// Command mmbenchgate compares a freshly measured BENCH_corr.json
+// against the committed baseline and fails loudly when a structural
+// performance property regressed. It gates ratios, not absolute
+// nanoseconds: wall-clock numbers move with the host, but the fusion
+// speedup, the matrix engine's win over the per-pair reference, and
+// the warm-start hit rate are properties of the code and should never
+// collapse.
+//
+// Usage:
+//
+//	mmbenchgate -fresh /tmp/bench.json -committed BENCH_corr.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// gateReport is the subset of the bench schema the gate reads. Older
+// committed baselines (schema v2, no engine section) gate only the
+// fields they carry.
+type gateReport struct {
+	Schema        string  `json:"schema"`
+	FusionSpeedup float64 `json:"fusion_speedup"`
+	Robust        struct {
+		WarmHitFrac float64 `json:"warm_hit_fraction"`
+	} `json:"robust"`
+	Engine struct {
+		PearsonSpeedup float64 `json:"pearson_speedup"`
+		FusedSpeedup   float64 `json:"fused_speedup"`
+	} `json:"engine"`
+}
+
+type gateConfig struct {
+	// minFrac is the fraction of a committed speedup the fresh run must
+	// retain. Speedups are already host-normalised ratios, but loaded
+	// CI machines still jitter them; 0.6 catches a structural collapse
+	// (a speedup falling toward 1×) without flaking on noise.
+	minFrac float64
+	// warmTol is the absolute tolerance on the warm-start hit fraction,
+	// which is a near-deterministic property of the data and estimator.
+	warmTol float64
+}
+
+type check struct {
+	name     string
+	fresh    float64
+	floor    float64
+	ok       bool
+	skipNote string
+}
+
+// gate evaluates every ratio check and returns the results plus
+// overall pass/fail.
+func gate(fresh, committed *gateReport, cfg gateConfig) ([]check, bool) {
+	var checks []check
+	ratio := func(name string, f, c float64) {
+		ck := check{name: name, fresh: f, floor: cfg.minFrac * c}
+		if c == 0 {
+			ck.ok = true
+			ck.skipNote = "not in committed baseline"
+		} else {
+			ck.ok = f >= ck.floor
+		}
+		checks = append(checks, ck)
+	}
+	ratio("fusion_speedup", fresh.FusionSpeedup, committed.FusionSpeedup)
+	ratio("engine.pearson_speedup", fresh.Engine.PearsonSpeedup, committed.Engine.PearsonSpeedup)
+	ratio("engine.fused_speedup", fresh.Engine.FusedSpeedup, committed.Engine.FusedSpeedup)
+
+	wh := check{
+		name:  "robust.warm_hit_fraction",
+		fresh: fresh.Robust.WarmHitFrac,
+		floor: committed.Robust.WarmHitFrac - cfg.warmTol,
+	}
+	if committed.Robust.WarmHitFrac == 0 {
+		wh.ok = true
+		wh.skipNote = "not in committed baseline"
+	} else {
+		wh.ok = wh.fresh >= wh.floor
+	}
+	checks = append(checks, wh)
+
+	pass := true
+	for _, c := range checks {
+		pass = pass && c.ok
+	}
+	return checks, pass
+}
+
+func load(path string) (*gateReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r gateReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	var (
+		freshPath     = flag.String("fresh", "", "freshly measured bench JSON")
+		committedPath = flag.String("committed", "BENCH_corr.json", "committed baseline bench JSON")
+		minFrac       = flag.Float64("min-frac", 0.6, "fraction of each committed speedup the fresh run must retain")
+		warmTol       = flag.Float64("warm-tol", 0.02, "absolute tolerance on the warm-start hit fraction")
+	)
+	flag.Parse()
+	if *freshPath == "" {
+		fmt.Fprintln(os.Stderr, "mmbenchgate: -fresh is required")
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmbenchgate:", err)
+		os.Exit(2)
+	}
+	committed, err := load(*committedPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmbenchgate:", err)
+		os.Exit(2)
+	}
+
+	checks, pass := gate(fresh, committed, gateConfig{minFrac: *minFrac, warmTol: *warmTol})
+	fmt.Printf("bench gate: fresh %s (%s) vs committed %s (%s)\n",
+		*freshPath, fresh.Schema, *committedPath, committed.Schema)
+	for _, c := range checks {
+		switch {
+		case c.skipNote != "":
+			fmt.Printf("  SKIP %-28s %s\n", c.name, c.skipNote)
+		case c.ok:
+			fmt.Printf("  PASS %-28s %.4f >= floor %.4f\n", c.name, c.fresh, c.floor)
+		default:
+			fmt.Printf("  FAIL %-28s %.4f <  floor %.4f\n", c.name, c.fresh, c.floor)
+		}
+	}
+	if !pass {
+		fmt.Println("bench gate: FAIL — a structural performance property regressed")
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: PASS")
+}

@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func report(fusion, warm, pearson, fused float64) *gateReport {
+	var r gateReport
+	r.FusionSpeedup = fusion
+	r.Robust.WarmHitFrac = warm
+	r.Engine.PearsonSpeedup = pearson
+	r.Engine.FusedSpeedup = fused
+	return &r
+}
+
+var cfg = gateConfig{minFrac: 0.6, warmTol: 0.02}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	committed := report(2.9, 0.998, 1.8, 1.1)
+	// Fresh run somewhat slower but structurally intact.
+	fresh := report(2.0, 0.990, 1.3, 0.9)
+	checks, pass := gate(fresh, committed, cfg)
+	if !pass {
+		t.Fatalf("gate failed on tolerable drift: %+v", checks)
+	}
+}
+
+func TestGateFailsOnFusionCollapse(t *testing.T) {
+	committed := report(2.9, 0.998, 1.8, 1.1)
+	fresh := report(1.0, 0.998, 1.8, 1.1) // fusion win gone
+	checks, pass := gate(fresh, committed, cfg)
+	if pass {
+		t.Fatal("gate passed a fusion-speedup collapse")
+	}
+	for _, c := range checks {
+		if c.name == "fusion_speedup" && c.ok {
+			t.Fatal("fusion_speedup check did not fail")
+		}
+	}
+}
+
+func TestGateFailsOnWarmHitDrop(t *testing.T) {
+	committed := report(2.9, 0.998, 1.8, 1.1)
+	fresh := report(2.9, 0.90, 1.8, 1.1) // warm chain broken
+	if _, pass := gate(fresh, committed, cfg); pass {
+		t.Fatal("gate passed a warm-hit-fraction drop")
+	}
+}
+
+func TestGateFailsOnEngineRegression(t *testing.T) {
+	committed := report(2.9, 0.998, 1.8, 1.1)
+	fresh := report(2.9, 0.998, 0.9, 1.1) // matrix engine now slower than reference
+	if _, pass := gate(fresh, committed, cfg); pass {
+		t.Fatal("gate passed a matrix-engine regression")
+	}
+}
+
+func TestGateSkipsFieldsAbsentFromBaseline(t *testing.T) {
+	// A v2 baseline carries no engine section; those checks must skip,
+	// not fail, so the gate works across a schema upgrade.
+	committed := report(2.9, 0.998, 0, 0)
+	fresh := report(2.9, 0.998, 1.8, 1.1)
+	checks, pass := gate(fresh, committed, cfg)
+	if !pass {
+		t.Fatalf("gate failed against a v2 baseline: %+v", checks)
+	}
+	skips := 0
+	for _, c := range checks {
+		if c.skipNote != "" {
+			skips++
+		}
+	}
+	if skips != 2 {
+		t.Fatalf("%d checks skipped, want 2 (engine speedups)", skips)
+	}
+}

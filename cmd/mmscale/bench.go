@@ -39,14 +39,37 @@ type sweepReport struct {
 	Trades            int64   `json:"trades"`
 }
 
+// engineReport compares the matrix-level engine (shared per-stock
+// moments + cache tiles + work stealing) against the per-pair
+// reference at the same worker count, so the structural win is isolated
+// from parallel speedup.
+type engineReport struct {
+	Workers  int `json:"workers"`
+	TileSize int `json:"tile_size"`
+	// Whole-day Pearson pass, all pairs — the moment-sharing headline.
+	PearsonDayNs    int64   `json:"pearson_day_ns"`
+	PearsonDayRefNs int64   `json:"pearson_day_reference_ns"`
+	PearsonSpeedup  float64 `json:"pearson_speedup"`
+	// Whole-day fused Maronna+Combined pass, all pairs.
+	FusedDayNs    int64   `json:"fused_day_ns"`
+	FusedDayRefNs int64   `json:"fused_day_reference_ns"`
+	FusedSpeedup  float64 `json:"fused_speedup"`
+}
+
 // benchReport is the BENCH_corr.json schema: per-window kernel costs
 // (cold, warm-started, and fused two-treatment), whole-day series
 // throughput, warm-start statistics, and the end-to-end approach
 // comparison wall times measured by the surrounding mmscale run.
 type benchReport struct {
-	Schema     string `json:"schema"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	WindowM    int    `json:"window_m"`
+	Schema string `json:"schema"`
+	// Environment the numbers were measured in. GOMAXPROCS is the value
+	// actually in effect during the run, not the flag that was asked
+	// for; CPUModel and GitRevision are best-effort ("" when
+	// undiscoverable).
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	CPUModel    string `json:"cpu_model,omitempty"`
+	GitRevision string `json:"git_revision,omitempty"`
+	WindowM     int    `json:"window_m"`
 
 	// Cold per-window cost with scratch reuse (median/MAD init every
 	// window), keyed by correlation type.
@@ -71,6 +94,7 @@ type benchReport struct {
 	SeriesFusedNsPerWindow float64            `json:"series_fused_maronna_combined_ns_per_window"`
 
 	Robust robustReport `json:"robust"`
+	Engine engineReport `json:"engine"`
 	Sweep  sweepReport  `json:"sweep"`
 }
 
@@ -96,8 +120,10 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 	steps := len(x) - benchWindowM
 
 	rep := benchReport{
-		Schema:            "marketminer/bench_corr/v2",
+		Schema:            "marketminer/bench_corr/v3",
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		CPUModel:          cpuModel(),
+		GitRevision:       gitRevision(),
 		WindowM:           benchWindowM,
 		ColdWindow:        make(map[string]windowBench),
 		SeriesNsPerWindow: make(map[string]float64),
@@ -219,6 +245,46 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 			MeanIters:   st.MeanIters(),
 			IterHist:    st.IterHist,
 		}
+	}
+
+	// Matrix engine vs per-pair reference at equal worker count: the
+	// structural (sharing + tiling) win, not the parallel one.
+	engineWorkers := workers
+	if engineWorkers <= 0 {
+		engineWorkers = runtime.GOMAXPROCS(0)
+	}
+	rep.Engine = engineReport{Workers: engineWorkers, TileSize: corr.DefaultTileSize}
+	dayBench := func(f func() error) int64 {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp()
+	}
+	pearsonTypes := []corr.Type{corr.Pearson}
+	rep.Engine.PearsonDayNs = dayBench(func() error {
+		_, err := corr.ComputeMatrixSeries(ecfg, pearsonTypes, dd.Returns)
+		return err
+	})
+	rep.Engine.PearsonDayRefNs = dayBench(func() error {
+		_, err := corr.ComputeSeriesMultiReference(ecfg, pearsonTypes, dd.Returns)
+		return err
+	})
+	rep.Engine.FusedDayNs = dayBench(func() error {
+		_, err := corr.ComputeMatrixSeries(ecfg, fusedTypes, dd.Returns)
+		return err
+	})
+	rep.Engine.FusedDayRefNs = dayBench(func() error {
+		_, err := corr.ComputeSeriesMultiReference(ecfg, fusedTypes, dd.Returns)
+		return err
+	})
+	if rep.Engine.PearsonDayNs > 0 {
+		rep.Engine.PearsonSpeedup = float64(rep.Engine.PearsonDayRefNs) / float64(rep.Engine.PearsonDayNs)
+	}
+	if rep.Engine.FusedDayNs > 0 {
+		rep.Engine.FusedSpeedup = float64(rep.Engine.FusedDayRefNs) / float64(rep.Engine.FusedDayNs)
 	}
 
 	f, err := os.Create(path)

@@ -12,6 +12,7 @@
 //	mmscale -stocks 20 -days 3
 //	mmscale -ctype maronna       # unit-cost measure for one treatment
 //	mmscale -bench-json BENCH_corr.json   # machine-readable kernel benchmarks
+//	mmscale -scaling-json BENCH_scaling.json   # 1..NumCPU engine scaling curve
 package main
 
 import (
@@ -33,24 +34,25 @@ import (
 
 func main() {
 	var (
-		stocks     = flag.Int("stocks", 10, "universe size (max 61)")
-		days       = flag.Int("days", 2, "trading days")
-		levels     = flag.Int("levels", 2, "parameter levels (max 14)")
-		seed       = flag.Int64("seed", 20080301, "data seed")
-		workers    = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
-		sameM      = flag.Bool("same-m", false, "restrict levels to M=100 so every set shares one correlation series (maximum integrated-engine sharing)")
-		benchJSON  = flag.String("bench-json", "", "run the correlation kernel benchmark suite and write machine-readable results to this file")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the approach comparison to this file")
-		memProfile = flag.String("memprofile", "", "write a post-run heap profile to this file")
+		stocks      = flag.Int("stocks", 10, "universe size (max 61)")
+		days        = flag.Int("days", 2, "trading days")
+		levels      = flag.Int("levels", 2, "parameter levels (max 14)")
+		seed        = flag.Int64("seed", 20080301, "data seed")
+		workers     = flag.Int("workers", 0, "workers (0 = GOMAXPROCS)")
+		sameM       = flag.Bool("same-m", false, "restrict levels to M=100 so every set shares one correlation series (maximum integrated-engine sharing)")
+		benchJSON   = flag.String("bench-json", "", "run the correlation kernel benchmark suite and write machine-readable results to this file")
+		scalingJSON = flag.String("scaling-json", "", "measure the matrix engine's 1..NumCPU worker scaling curve and write it to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the approach comparison to this file")
+		memProfile  = flag.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	flag.Parse()
-	if err := run(*stocks, *days, *levels, *seed, *workers, *sameM, *benchJSON, *cpuProfile, *memProfile); err != nil {
+	if err := run(*stocks, *days, *levels, *seed, *workers, *sameM, *benchJSON, *scalingJSON, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "mmscale:", err)
 		os.Exit(1)
 	}
 }
 
-func run(stocks, days, levels int, seed int64, workers int, sameM bool, benchJSON, cpuProfile, memProfile string) error {
+func run(stocks, days, levels int, seed int64, workers int, sameM bool, benchJSON, scalingJSON, cpuProfile, memProfile string) error {
 	if stocks < 2 || stocks > 61 {
 		return fmt.Errorf("stocks must be in [2, 61]")
 	}
@@ -168,6 +170,13 @@ func run(stocks, days, levels int, seed int64, workers int, sameM bool, benchJSO
 			return err
 		}
 		fmt.Printf("benchmark results saved to %s\n", benchJSON)
+	}
+	if scalingJSON != "" {
+		fmt.Println("\nmeasuring matrix engine scaling curve ...")
+		if err := writeScalingJSON(scalingJSON, dd); err != nil {
+			return err
+		}
+		fmt.Printf("scaling curve saved to %s\n", scalingJSON)
 	}
 	return nil
 }

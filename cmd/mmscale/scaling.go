@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
+)
+
+// cpuModel best-effort reads the CPU model name from /proc/cpuinfo so
+// benchmark artifacts record the hardware they were measured on.
+// Returns "" when unavailable (non-Linux, restricted container).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(k) == "model name" {
+			return strings.TrimSpace(v)
+		}
+	}
+	return ""
+}
+
+// gitRevision best-effort resolves the short revision of the working
+// tree the benchmark ran from. Returns "" outside a git checkout.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// scalingPoint is one worker count on the scaling curve.
+type scalingPoint struct {
+	Workers    int     `json:"workers"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"`    // vs the 1-worker point
+	Efficiency float64 `json:"efficiency"` // speedup / workers
+}
+
+// scalingReport is the BENCH_scaling.json schema: the matrix engine's
+// strong-scaling curve from 1 to NumCPU workers on a fixed day
+// workload, with enough environment detail (cpu, revision, gomaxprocs)
+// to interpret the numbers later. On a single-core host the curve
+// degenerates to one point — recorded honestly rather than simulated.
+type scalingReport struct {
+	Schema      string         `json:"schema"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	NumCPU      int            `json:"numcpu"`
+	CPUModel    string         `json:"cpu_model,omitempty"`
+	GitRevision string         `json:"git_revision,omitempty"`
+	Workload    string         `json:"workload"`
+	WindowM     int            `json:"window_m"`
+	Points      []scalingPoint `json:"points"`
+}
+
+// scalingWorkerCounts returns 1, 2, 4, ... doubling up to NumCPU, with
+// NumCPU always the last point.
+func scalingWorkerCounts(numCPU int) []int {
+	var counts []int
+	for w := 1; w < numCPU; w *= 2 {
+		counts = append(counts, w)
+	}
+	return append(counts, numCPU)
+}
+
+// writeScalingJSON benchmarks the full three-treatment matrix pass over
+// the prepared day at each worker count and writes the scaling report.
+func writeScalingJSON(path string, dd *backtest.DayData) error {
+	numCPU := runtime.NumCPU()
+	rep := scalingReport{
+		Schema:      "marketminer/bench_scaling/v1",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      numCPU,
+		CPUModel:    cpuModel(),
+		GitRevision: gitRevision(),
+		Workload: fmt.Sprintf("ComputeMatrixSeries, %d stocks, %d returns, all three treatments",
+			len(dd.Returns), len(dd.Returns[0])),
+		WindowM: benchWindowM,
+	}
+	types := []corr.Type{corr.Pearson, corr.Maronna, corr.Combined}
+	var baseNs int64
+	for _, w := range scalingWorkerCounts(numCPU) {
+		cfg := corr.EngineConfig{M: benchWindowM, Workers: w}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := corr.ComputeMatrixSeries(cfg, types, dd.Returns); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		pt := scalingPoint{Workers: w, NsPerOp: r.NsPerOp()}
+		if baseNs == 0 {
+			baseNs = pt.NsPerOp
+		}
+		if pt.NsPerOp > 0 {
+			pt.Speedup = float64(baseNs) / float64(pt.NsPerOp)
+			pt.Efficiency = pt.Speedup / float64(w)
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

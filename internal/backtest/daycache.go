@@ -1,0 +1,104 @@
+package backtest
+
+import (
+	"math"
+	"sync"
+)
+
+// dayCache is a bounded, lazily-filled cache of prepared DayData shared
+// by Farm's workers. The farm baseline used to prepare and hold every
+// day's data up front, which is O(days) memory before the first job
+// runs; the cache prepares a day the first time any worker asks for it
+// (singleflight — concurrent callers for the same day block on one
+// preparation) and evicts the least-recently-used completed day once
+// the cache is full. Capacity around workers+1 keeps every worker's
+// current day resident while a sequential day scan reuses each entry
+// across all jobs that reach it near the same time.
+type dayCache struct {
+	prepare func(day int) (*DayData, error)
+
+	mu      sync.Mutex
+	cap     int
+	clock   int64
+	entries map[int]*dayCacheEntry
+
+	// highWater records the largest number of simultaneously resident
+	// entries; tests use it to pin the bound. It can exceed cap only
+	// when every resident entry is still being prepared (eviction never
+	// drops an in-flight preparation), which bounds it by cap+workers.
+	highWater int
+}
+
+type dayCacheEntry struct {
+	ready    chan struct{} // closed when dd/err are set
+	dd       *DayData
+	err      error
+	done     bool
+	lastUsed int64
+}
+
+// newDayCache returns a cache holding at most capacity completed days
+// (minimum 1).
+func newDayCache(capacity int, prepare func(day int) (*DayData, error)) *dayCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &dayCache{
+		prepare: prepare,
+		cap:     capacity,
+		entries: make(map[int]*dayCacheEntry),
+	}
+}
+
+// farmCacheCap sizes a Farm run's day cache: one day per worker plus a
+// spare so a worker rolling to the next day rarely evicts a day a peer
+// is still reading, clamped to the number of days.
+func farmCacheCap(days, workers int) int {
+	c := workers + 1
+	if c < 2 {
+		c = 2
+	}
+	if c > days {
+		c = days
+	}
+	return c
+}
+
+// get returns the prepared data for day d, preparing it if no other
+// caller already has.
+func (c *dayCache) get(d int) (*DayData, error) {
+	c.mu.Lock()
+	c.clock++
+	if e, ok := c.entries[d]; ok {
+		e.lastUsed = c.clock
+		c.mu.Unlock()
+		<-e.ready
+		return e.dd, e.err
+	}
+	if len(c.entries) >= c.cap {
+		victim, oldest := -1, int64(math.MaxInt64)
+		for day, e := range c.entries {
+			if e.done && e.lastUsed < oldest {
+				victim, oldest = day, e.lastUsed
+			}
+		}
+		if victim >= 0 {
+			delete(c.entries, victim)
+		}
+	}
+	e := &dayCacheEntry{ready: make(chan struct{}), lastUsed: c.clock}
+	c.entries[d] = e
+	if len(c.entries) > c.highWater {
+		c.highWater = len(c.entries)
+	}
+	c.mu.Unlock()
+
+	dd, err := c.prepare(d)
+
+	c.mu.Lock()
+	e.dd, e.err = dd, err
+	e.done = true
+	c.mu.Unlock()
+	close(e.ready)
+	return dd, err
+}

@@ -1,0 +1,95 @@
+package backtest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDayCacheSingleflightAndBound(t *testing.T) {
+	var prepared atomic.Int64
+	c := newDayCache(3, func(d int) (*DayData, error) {
+		prepared.Add(1)
+		return &DayData{}, nil
+	})
+
+	// Many goroutines racing over a few days: each day is prepared at
+	// most once while it stays resident, and residency never exceeds
+	// the capacity (all preparations here complete, so no in-flight
+	// overshoot applies).
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for d := 0; d < 3; d++ {
+				if _, err := c.get(d); err != nil {
+					t.Errorf("get(%d): %v", d, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := prepared.Load(); got != 3 {
+		t.Errorf("3 resident days prepared %d times, want 3", got)
+	}
+	if c.highWater > 3 {
+		t.Errorf("high-water mark %d exceeds capacity 3", c.highWater)
+	}
+
+	// A fourth day must evict the least-recently-used completed day,
+	// and re-requesting that day re-prepares it.
+	if _, err := c.get(3); err != nil {
+		t.Fatal(err)
+	}
+	if c.highWater > 3 {
+		t.Errorf("high-water mark %d after eviction, want <= 3", c.highWater)
+	}
+	before := prepared.Load()
+	if _, err := c.get(0); err != nil { // day 0 is the LRU victim
+		t.Fatal(err)
+	}
+	if prepared.Load() != before+1 {
+		t.Errorf("evicted day was not re-prepared (prepared %d -> %d)", before, prepared.Load())
+	}
+}
+
+func TestDayCachePropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	c := newDayCache(2, func(d int) (*DayData, error) {
+		calls++
+		if d == 1 {
+			return nil, boom
+		}
+		return &DayData{}, nil
+	})
+	if _, err := c.get(1); !errors.Is(err, boom) {
+		t.Fatalf("get(1) err = %v, want boom", err)
+	}
+	// The failed entry is cached like any other: same error, no retry
+	// while resident.
+	if _, err := c.get(1); !errors.Is(err, boom) {
+		t.Fatalf("second get(1) err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Fatalf("failed day prepared %d times while resident, want 1", calls)
+	}
+}
+
+func TestFarmCacheCap(t *testing.T) {
+	cases := []struct{ days, workers, want int }{
+		{10, 1, 2},
+		{10, 4, 5},
+		{3, 8, 3},
+		{1, 8, 1},
+		{10, 0, 2},
+	}
+	for _, tc := range cases {
+		if got := farmCacheCap(tc.days, tc.workers); got != tc.want {
+			t.Errorf("farmCacheCap(%d, %d) = %d, want %d", tc.days, tc.workers, got, tc.want)
+		}
+	}
+}

@@ -77,17 +77,16 @@ func Farm(ctx context.Context, cfg Config) (*Result, error) {
 	// Day preparation is shared (it stands for the TAQ database);
 	// everything downstream is per-job, as in Approach 2 where each
 	// Matlab job re-derived its own correlations from the raw data.
-	daysData := make([]*DayData, days)
-	for d := 0; d < days; d++ {
-		dd, err := PrepareDay(cfg, gen, d)
-		if err != nil {
-			return nil, err
-		}
-		daysData[d] = dd
-	}
+	// Days are prepared lazily into a small bounded cache rather than
+	// all up front: GenerateDay is seeded per day, so whichever worker
+	// arrives first produces the same data any other would have.
+	workers := cfg.workers()
+	cache := newDayCache(farmCacheCap(days, workers), func(d int) (*DayData, error) {
+		return PrepareDay(cfg, gen, d)
+	})
 
 	pairs := taq.AllPairs(uni.Len())
-	pool := sched.New(cfg.workers())
+	pool := sched.New(workers)
 	total := numPairs * numParams
 	err = pool.Map(ctx, total, func(ctx context.Context, job int) error {
 		pid := job / numParams
@@ -95,7 +94,11 @@ func Farm(ctx context.Context, cfg Config) (*Result, error) {
 		p := levels[k%len(levels)].WithType(types[k/len(levels)])
 		pr := pairs[pid]
 		for d := 0; d < days; d++ {
-			trades, err := RunPairDaySequential(p, daysData[d], pr.I, pr.J, d)
+			dd, err := cache.get(d)
+			if err != nil {
+				return err
+			}
+			trades, err := RunPairDaySequential(p, dd, pr.I, pr.J, d)
 			if err != nil {
 				return err
 			}

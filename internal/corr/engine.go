@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"marketminer/internal/sched"
 	"marketminer/internal/taq"
 )
 
@@ -28,6 +29,11 @@ type EngineConfig struct {
 	// Pairs optionally restricts computation to a subset of pairs
 	// (canonical ids). Nil means all n(n-1)/2 pairs.
 	Pairs []int
+	// TileSize bounds the number of pairs per cache tile in the matrix
+	// engine; ≤ 0 means DefaultTileSize. Output is bit-identical for
+	// every tile size — the knob only trades scheduling granularity
+	// against per-tile cache footprint.
+	TileSize int
 	// RepairPSD, when set, shrinks each online matrix toward the
 	// identity until it passes a Cholesky test. Per-pair Maronna
 	// estimates do not form a PSD matrix (the defect the paper calls
@@ -48,6 +54,13 @@ func (c *EngineConfig) maronna() MaronnaConfig {
 		return DefaultMaronnaConfig()
 	}
 	return c.Maronna
+}
+
+func (c *EngineConfig) tileSize() int {
+	if c.TileSize > 0 {
+		return c.TileSize
+	}
+	return DefaultTileSize
 }
 
 // RobustStats aggregates how the warm-started Maronna chain behaved
@@ -171,38 +184,43 @@ func ComputeSeries(cfg EngineConfig, returns [][]float64) (*Series, error) {
 // Series covers grid intervals M .. T (inclusive), i.e. T−M+1 values
 // per pair.
 //
-// Pairs are sharded across workers exactly as MarketMiner sharded them
-// across MPI ranks. Pearson uses an O(1)-per-step rolling update with
-// periodic re-anchoring; the robust treatments share one warm-started
-// Maronna fit per (pair, window) — the Combined coefficient is derived
-// from the Maronna fit's scatter weights, so requesting both halves
-// the robust work relative to two independent runs. Results are
-// bit-deterministic: the per-pair warm chain is sequential in t and
-// identical regardless of worker count.
+// Since the matrix-level engine landed this is a thin wrapper over
+// ComputeMatrixSeries — per-stock sliding statistics are hoisted out of
+// the per-pair loop, the pair triangle is tiled into cache-sized
+// blocks, and tiles are scheduled by work stealing. Results are
+// bit-deterministic and identical to ComputeSeriesMultiReference for
+// every worker count and tile size.
 func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]*Series, error) {
+	return ComputeMatrixSeries(cfg, types, returns)
+}
+
+// prepareSeriesRequest validates an engine request and allocates the
+// output series, shared by the matrix engine and the per-pair
+// reference.
+func prepareSeriesRequest(cfg EngineConfig, types []Type, returns [][]float64) (pairs []int, outs []*Series, err error) {
 	if len(types) == 0 {
-		return nil, errors.New("corr: no correlation types requested")
+		return nil, nil, errors.New("corr: no correlation types requested")
 	}
 	n := len(returns)
 	if n < 2 {
-		return nil, errors.New("corr: need at least 2 stocks")
+		return nil, nil, errors.New("corr: need at least 2 stocks")
 	}
 	T := len(returns[0])
 	for i, row := range returns {
 		if len(row) != T {
-			return nil, fmt.Errorf("corr: stock %d has %d returns, want %d", i, len(row), T)
+			return nil, nil, fmt.Errorf("corr: stock %d has %d returns, want %d", i, len(row), T)
 		}
 	}
 	if cfg.M < 2 {
-		return nil, fmt.Errorf("corr: window M=%d too small", cfg.M)
+		return nil, nil, fmt.Errorf("corr: window M=%d too small", cfg.M)
 	}
 	if T < cfg.M {
-		return nil, fmt.Errorf("corr: %d returns < window M=%d", T, cfg.M)
+		return nil, nil, fmt.Errorf("corr: %d returns < window M=%d", T, cfg.M)
 	}
 	for i, row := range returns {
 		for u, x := range row {
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return nil, fmt.Errorf("corr: stock %d has non-finite return at %d", i, u)
+				return nil, nil, fmt.Errorf("corr: stock %d has non-finite return at %d", i, u)
 			}
 		}
 	}
@@ -211,15 +229,15 @@ func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]
 		switch ty {
 		case Pearson, Maronna, Combined:
 		default:
-			return nil, fmt.Errorf("corr: unsupported series type %v", ty)
+			return nil, nil, fmt.Errorf("corr: unsupported series type %v", ty)
 		}
 		if seen[ty] {
-			return nil, fmt.Errorf("corr: duplicate series type %v", ty)
+			return nil, nil, fmt.Errorf("corr: duplicate series type %v", ty)
 		}
 		seen[ty] = true
 	}
 
-	pairs := cfg.Pairs
+	pairs = cfg.Pairs
 	if pairs == nil {
 		pairs = make([]int, n*(n-1)/2)
 		for i := range pairs {
@@ -227,7 +245,7 @@ func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]
 		}
 	}
 	steps := T - cfg.M + 1
-	outs := make([]*Series, len(types))
+	outs = make([]*Series, len(types))
 	for oi, ty := range types {
 		s := &Series{Type: ty, M: cfg.M, FirstS: cfg.M, Pairs: pairs, N: n, Corr: make([][]float64, len(pairs))}
 		for k := range s.Corr {
@@ -235,7 +253,22 @@ func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]
 		}
 		outs[oi] = s
 	}
+	return pairs, outs, nil
+}
 
+// ComputeSeriesMultiReference is the pre-matrix per-pair engine: a
+// static range split of the pair list across workers, each pair
+// computing its own sliding statistics from scratch. It is retained as
+// the verification baseline the matrix engine must match bit-for-bit
+// (TestMatrixEngineMatchesReference) and as the comparison point for
+// the sharing+tiling speedup reported in BENCH_corr.json. New code
+// should call ComputeSeriesMulti.
+func ComputeSeriesMultiReference(cfg EngineConfig, types []Type, returns [][]float64) ([]*Series, error) {
+	pairs, outs, err := prepareSeriesRequest(cfg, types, returns)
+	if err != nil {
+		return nil, err
+	}
+	n := len(returns)
 	allPairs := taq.AllPairs(n)
 	workers := cfg.workers()
 	if workers > len(pairs) {
@@ -244,7 +277,12 @@ func ComputeSeriesMulti(cfg EngineConfig, types []Type, returns [][]float64) ([]
 	if workers < 1 {
 		workers = 1
 	}
-	robust := seen[Maronna] || seen[Combined]
+	robust := false
+	for _, ty := range types {
+		if ty == Maronna || ty == Combined {
+			robust = true
+		}
+	}
 	var workerStats []RobustStats
 	if robust {
 		workerStats = make([]RobustStats, workers)
@@ -355,14 +393,18 @@ func rollingPearson(x, y []float64, m int, dst []float64) {
 	steps := len(x) - m + 1
 	fm := float64(m)
 	var sx, sy, sxx, syy, sxy float64
+	// The normaliser is factored as 1/√vx · 1/√vy (not 1/√(vx·vy)) so
+	// the matrix engine can hoist each factor per stock and stay
+	// bit-identical to this reference; pearsonInvStd is that exact
+	// shared expression.
 	emit := func(t int) {
-		vx := sxx - sx*sx/fm
-		vy := syy - sy*sy/fm
-		if vx <= 0 || vy <= 0 {
+		rx := pearsonInvStd(sxx, sx, fm)
+		ry := pearsonInvStd(syy, sy, fm)
+		if rx == 0 || ry == 0 {
 			dst[t] = 0
 			return
 		}
-		dst[t] = clampCorr((sxy - sx*sy/fm) / math.Sqrt(vx*vy))
+		dst[t] = clampCorr((sxy - sx*sy/fm) * rx * ry)
 	}
 	for base := 0; base < steps; base += pearsonReanchorEvery {
 		sx, sy, sxx, syy, sxy = 0, 0, 0, 0, 0
@@ -406,6 +448,19 @@ type OnlineEngine struct {
 	pool    []*Scratch  // per-worker robust scratch
 	pairs   []taq.Pair  // cached pair table
 	fits    []Fit       // per-pair warm-start state (robust types only)
+
+	// Matrix-level shared state, refreshed per push: tiles over the
+	// pair triangle, per-stock window sums (Pearson) and per-stock
+	// robust cold-start initialisers (robust types, computed only on
+	// pushes where some pair actually needs a cold start).
+	tiles    [][]int
+	est      *MaronnaEstimator
+	sums     []float64
+	sumSqs   []float64
+	invs     []float64
+	inits    []ColdInit
+	initBuf  []float64
+	haveInit bool
 }
 
 // NewOnlineEngine builds a streaming engine over an n-stock universe.
@@ -428,10 +483,23 @@ func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
 		e.pool[i] = &Scratch{}
 	}
 	e.pairs = taq.AllPairs(n)
-	if cfg.Type == Maronna || cfg.Type == Combined {
+	pairIdx := make([]int, len(e.pairs))
+	for i := range pairIdx {
+		pairIdx[i] = i
+	}
+	e.tiles = buildTiles(pairIdx, e.pairs, cfg.tileSize())
+	switch cfg.Type {
+	case Pearson:
+		e.sums = make([]float64, n)
+		e.sumSqs = make([]float64, n)
+		e.invs = make([]float64, n)
+	case Maronna, Combined:
 		// Successive pushes slide each pair's window by one point, so
 		// the previous matrix's converged fits seed the next one.
 		e.fits = make([]Fit, len(e.pairs))
+		e.est = NewMaronnaEstimator(cfg.maronna())
+		e.inits = make([]ColdInit, n)
+		e.initBuf = make([]float64, cfg.M)
 	}
 	return e, nil
 }
@@ -474,54 +542,86 @@ func (e *OnlineEngine) Push(rets []float64) (*Matrix, error) {
 }
 
 // matrix computes all pairwise coefficients of the current scratch
-// windows in parallel. The worker→pair sharding is identical on every
-// push, so each worker owns its slice of the warm-start states.
+// windows: per-stock state first (window sums for Pearson, cold
+// initialisers for the robust types when some pair needs one), then
+// cache tiles of pairs scheduled across workers by work stealing.
+// Every pair owns its matrix slot and warm-fit entry and worker
+// scratches are exchanged only through the steal pool's
+// happens-before, so any schedule yields the same matrix.
 func (e *OnlineEngine) matrix() *Matrix {
 	m := NewMatrix(e.n)
 	pairs := e.pairs
 	workers := len(e.pool)
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > len(e.tiles) {
+		workers = len(e.tiles)
 	}
-	var wg sync.WaitGroup
-	chunk := (len(pairs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(pairs) {
-			hi = len(pairs)
+	switch e.cfg.Type {
+	case Pearson:
+		// Univariate sums and normalisers once per stock per push; each
+		// pair then computes only the cross moment. Per-sum addition
+		// order is identical to PearsonCorr's fused loop, so
+		// coefficients are bit-identical to the per-pair form.
+		fn := float64(e.cfg.M)
+		for i, s := range e.scratch {
+			var sx, sxx float64
+			for _, v := range s {
+				sx += v
+				sxx += v * v
+			}
+			e.sums[i], e.sumSqs[i] = sx, sxx
+			e.invs[i] = pearsonInvStd(sxx, sx, fn)
 		}
-		if lo >= hi {
-			break
+		sched.Steal(workers, len(e.tiles), func(w, ti int) {
+			for _, k := range e.tiles[ti] {
+				p := pairs[k]
+				x, y := e.scratch[p.I], e.scratch[p.J]
+				var sxy float64
+				for i := range x {
+					sxy += x[i] * y[i]
+				}
+				rx, ry := e.invs[p.I], e.invs[p.J]
+				if rx == 0 || ry == 0 {
+					m.SetPair(k, 0)
+					continue
+				}
+				m.SetPair(k, clampCorr((sxy-e.sums[p.I]*e.sums[p.J]/fn)*rx*ry))
+			}
+		})
+	case Maronna, Combined:
+		// Shared cold initialisers are only worth refreshing on pushes
+		// where some chain actually restarts (the first ready window,
+		// and after degenerate fits); mid-stream warm fallbacks are
+		// rare and recompute inline, which yields identical values.
+		e.haveInit = false
+		for k := range e.fits {
+			if !e.fits[k].Valid {
+				for i, s := range e.scratch {
+					e.inits[i] = ColdInitOf(e.initBuf, s)
+				}
+				e.haveInit = true
+				break
+			}
 		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
+		sched.Steal(workers, len(e.tiles), func(w, ti int) {
 			sc := e.pool[w]
-			switch e.cfg.Type {
-			case Pearson:
-				for k := lo; k < hi; k++ {
-					p := pairs[k]
-					m.SetPair(k, PearsonCorr(e.scratch[p.I], e.scratch[p.J]))
+			for _, k := range e.tiles[ti] {
+				p := pairs[k]
+				x, y := e.scratch[p.I], e.scratch[p.J]
+				var ix, iy *ColdInit
+				if e.haveInit {
+					ix, iy = &e.inits[p.I], &e.inits[p.J]
 				}
-			case Maronna, Combined:
-				est := NewMaronnaEstimator(e.cfg.maronna())
-				for k := lo; k < hi; k++ {
-					p := pairs[k]
-					x, y := e.scratch[p.I], e.scratch[p.J]
-					var f Fit
-					f, sc = est.FitScratch(x, y, sc, &e.fits[k])
-					e.fits[k] = f
-					c := f.Rho
-					if e.cfg.Type == Combined {
-						c = CombinedFromFit(x, y, f.Rho, sc.Weights())
-					}
-					m.SetPair(k, c)
+				var f Fit
+				f, sc = e.est.FitScratchShared(x, y, sc, &e.fits[k], ix, iy)
+				e.fits[k] = f
+				c := f.Rho
+				if e.cfg.Type == Combined {
+					c = CombinedFromFit(x, y, f.Rho, sc.Weights())
 				}
+				m.SetPair(k, c)
 			}
 			e.pool[w] = sc
-		}(w, lo, hi)
+		})
 	}
-	wg.Wait()
 	return m
 }

@@ -108,6 +108,30 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 	return f.Rho, sc
 }
 
+// ColdInit is the univariate robust initialiser of one series: median
+// location and MAD scale (with the standard-deviation fallback for
+// samples that are more than half ties). It is a pure function of the
+// series, so the matrix engine computes it once per stock per window
+// and shares it across every pair containing that stock instead of
+// re-deriving it inside each pair's cold start. Scale == 0 marks a
+// genuinely constant series, for which no correlation is defined.
+type ColdInit struct {
+	Med   float64
+	Scale float64
+}
+
+// ColdInitOf computes the cold-start initialiser of x using buf (len ≥
+// len(x)) as selection scratch. The values are bit-identical to the
+// ones FitScratch derives internally.
+func ColdInitOf(buf, x []float64) ColdInit {
+	t := medianInto(buf, x)
+	s := madInto(buf, x, t)
+	if s == 0 {
+		s = tinyScale(x, t)
+	}
+	return ColdInit{Med: t, Scale: s}
+}
+
 // FitScratch computes the Maronna fit of (x, y). When warm points to a
 // Valid previous fit (typically the converged fit of the overlapping
 // previous window), the iteration starts from that location/scatter
@@ -118,6 +142,16 @@ func (e *MaronnaEstimator) CorrScratch(x, y []float64, sc *Scratch) (float64, *S
 // falls back to the classic cold start, so warm starting never changes
 // which fixed point is reported — only how fast it is reached.
 func (e *MaronnaEstimator) FitScratch(x, y []float64, sc *Scratch, warm *Fit) (Fit, *Scratch) {
+	return e.FitScratchShared(x, y, sc, warm, nil, nil)
+}
+
+// FitScratchShared is FitScratch with the cold-start initialisers
+// precomputed: ix and iy, when non-nil, must be ColdInitOf(·, x) and
+// ColdInitOf(·, y) for exactly these windows. The matrix engine hoists
+// them out of the per-pair loop (one per stock per window instead of
+// one per pair per window); passing nil recovers the classic inline
+// computation, which produces bit-identical values.
+func (e *MaronnaEstimator) FitScratchShared(x, y []float64, sc *Scratch, warm *Fit, ix, iy *ColdInit) (Fit, *Scratch) {
 	n := len(x)
 	if sc == nil {
 		sc = &Scratch{}
@@ -150,22 +184,24 @@ func (e *MaronnaEstimator) FitScratch(x, y []float64, sc *Scratch, warm *Fit) (F
 	}
 
 	// Robust initialisation: coordinate-wise median location and
-	// MAD-based diagonal scatter with zero cross-scatter.
-	t1 := medianInto(sc.sbuf, x)
-	t2 := medianInto(sc.sbuf, y)
-	s1 := madInto(sc.sbuf, x, t1)
-	s2 := madInto(sc.sbuf, y, t2)
-	if s1 == 0 {
-		s1 = tinyScale(x, t1)
+	// MAD-based diagonal scatter with zero cross-scatter, shared across
+	// pairs when the caller precomputed it.
+	var i1, i2 ColdInit
+	if ix != nil {
+		i1 = *ix
+	} else {
+		i1 = ColdInitOf(sc.sbuf, x)
 	}
-	if s2 == 0 {
-		s2 = tinyScale(y, t2)
+	if iy != nil {
+		i2 = *iy
+	} else {
+		i2 = ColdInitOf(sc.sbuf, y)
 	}
-	if s1 == 0 || s2 == 0 {
+	if i1.Scale == 0 || i2.Scale == 0 {
 		// A genuinely constant series has no defined correlation.
 		return Fit{}, sc
 	}
-	f, _ := e.iterate(x, y, sc, t1, t2, s1*s1, s2*s2, 0, false)
+	f, _ := e.iterate(x, y, sc, i1.Med, i2.Med, i1.Scale*i1.Scale, i2.Scale*i2.Scale, 0, false)
 	return f, sc
 }
 

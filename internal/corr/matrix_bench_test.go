@@ -1,0 +1,57 @@
+package corr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchEngines compares the matrix engine against the per-pair
+// reference on an identical day workload, per correlation request.
+func benchEngines(b *testing.B, types []Type) {
+	rets := marketReturns(b, 10, 20080301)
+	cfg := EngineConfig{M: 100, Workers: 1}
+	for _, bc := range []struct {
+		name string
+		run  func() ([]*Series, error)
+	}{
+		{"matrix", func() ([]*Series, error) { return ComputeMatrixSeries(cfg, types, rets) }},
+		{"reference", func() ([]*Series, error) { return ComputeSeriesMultiReference(cfg, types, rets) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bc.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMatrixEnginePearsonDay(b *testing.B) {
+	benchEngines(b, []Type{Pearson})
+}
+
+func BenchmarkMatrixEngineFusedRobustDay(b *testing.B) {
+	benchEngines(b, []Type{Maronna, Combined})
+}
+
+func BenchmarkMatrixEngineAllTypesDay(b *testing.B) {
+	benchEngines(b, []Type{Pearson, Maronna, Combined})
+}
+
+// BenchmarkMatrixEngineTileSize exposes the cache-tiling knob so the
+// default can be revisited on new hardware.
+func BenchmarkMatrixEngineTileSize(b *testing.B) {
+	rets := marketReturns(b, 10, 20080301)
+	for _, tile := range []int{1, 16, 64, 256, 1 << 30} {
+		b.Run(fmt.Sprintf("tile%d", tile), func(b *testing.B) {
+			cfg := EngineConfig{M: 100, Workers: 1, TileSize: tile}
+			for i := 0; i < b.N; i++ {
+				if _, err := ComputeMatrixSeries(cfg, []Type{Pearson}, rets); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

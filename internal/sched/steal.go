@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Work-stealing scheduler for statically-known task sets whose per-task
+// cost is unpredictable. The correlation engine's robust tiles are the
+// motivating workload: Maronna's fixed-point iteration count varies
+// 7–22× between windows, so a static range split leaves some workers
+// idle while one drags the tail. Each worker owns a deque seeded with a
+// contiguous slice of the task ids (preserving the locality of the
+// initial assignment); it pops from the front of its own deque and,
+// when empty, steals from the back of a victim's, so stolen work is the
+// work farthest from the victim's current cache-hot position.
+
+// stealDeque is one worker's task queue. A mutex per deque is cheap
+// here because tasks are coarse (a whole pair-tile × all window steps);
+// the lock is taken once per task, not per window.
+type stealDeque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+// popFront takes the owner's next task.
+func (d *stealDeque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// popBack steals a task from the far end of a victim's deque.
+func (d *stealDeque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// Steal executes fn(worker, task) exactly once for every task in
+// [0, n), using the given number of workers (clamped to [1, n]) with
+// work-stealing load balancing. fn observes which worker runs it so
+// callers can maintain per-worker scratch state; a given task runs on
+// exactly one worker, and Steal returns only after every task has
+// finished (all fn calls happen-before the return). It reports the
+// number of steals that occurred — 0 means the static split was already
+// balanced.
+//
+// Steal guarantees nothing about execution order, so callers needing
+// deterministic output must make every task's result independent of
+// scheduling (the correlation engine achieves this by giving each task
+// exclusively-owned output slots).
+func Steal(workers, n int, fn func(worker, task int)) int {
+	if n <= 0 || fn == nil {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers == 1 {
+		for t := 0; t < n; t++ {
+			fn(0, t)
+		}
+		return 0
+	}
+
+	deques := make([]stealDeque, workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for t := lo; t < hi; t++ {
+			deques[w].tasks = append(deques[w].tasks, t)
+		}
+	}
+
+	var steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if t, ok := deques[w].popFront(); ok {
+					fn(w, t)
+					continue
+				}
+				// Own deque empty: scan the others once. Because the
+				// task set is static (no task ever spawns another), a
+				// full scan that finds every deque empty means no work
+				// will ever appear again and the worker can retire.
+				stole := false
+				for off := 1; off < workers; off++ {
+					v := (w + off) % workers
+					if t, ok := deques[v].popBack(); ok {
+						steals.Add(1)
+						fn(w, t)
+						stole = true
+						break
+					}
+				}
+				if !stole {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return int(steals.Load())
+}

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestStealRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 97, 1000} {
+			var counts sync.Map
+			Steal(workers, n, func(w, task int) {
+				c, _ := counts.LoadOrStore(task, new(atomic.Int64))
+				c.(*atomic.Int64).Add(1)
+			})
+			seen := 0
+			counts.Range(func(k, v any) bool {
+				seen++
+				if got := v.(*atomic.Int64).Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: task %v ran %d times", workers, n, k, got)
+				}
+				return true
+			})
+			if seen != n {
+				t.Fatalf("workers=%d n=%d: %d tasks ran", workers, n, seen)
+			}
+		}
+	}
+}
+
+func TestStealWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 200
+	var bad atomic.Int64
+	Steal(workers, n, func(w, task int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestStealBalancesSkewedTasks builds the workload the scheduler
+// exists for — one contiguous run of tasks far more expensive than the
+// rest, exactly where a static range split strands a single worker —
+// and asserts that other workers steal into the expensive range.
+func TestStealBalancesSkewedTasks(t *testing.T) {
+	const workers, n = 4, 64
+	var ran [n]atomic.Int64
+	steals := Steal(workers, n, func(w, task int) {
+		if task < n/workers {
+			// The first worker's seeded range is slow.
+			time.Sleep(2 * time.Millisecond)
+		}
+		ran[task].Add(1)
+	})
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, ran[i].Load())
+		}
+	}
+	if steals == 0 {
+		t.Error("skewed workload produced no steals")
+	}
+}
+
+func TestStealNilFnAndEdgeCases(t *testing.T) {
+	if got := Steal(4, 10, nil); got != 0 {
+		t.Errorf("nil fn: steals = %d", got)
+	}
+	if got := Steal(0, 0, func(w, task int) {}); got != 0 {
+		t.Errorf("empty: steals = %d", got)
+	}
+	// workers <= 0 degrades to sequential execution.
+	var runs int
+	Steal(-3, 5, func(w, task int) { runs++ })
+	if runs != 5 {
+		t.Errorf("workers<0 ran %d tasks, want 5", runs)
+	}
+}

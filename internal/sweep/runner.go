@@ -244,7 +244,17 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	}
 
 	pairs := taq.AllPairs(uni.Len())
-	pool := sched.New(cfg.ResolvedWorkers())
+	W := cfg.ResolvedWorkers()
+	// Parallelism lives at the group level, but when this shard owns
+	// fewer groups than workers the surplus cores would idle; hand the
+	// remainder to the matrix engine inside each group. The engine is
+	// worker-count-invariant (bit-identical output for any worker
+	// count), so shard bytes are unchanged either way.
+	engineWorkers := 1
+	if len(groups) > 0 && len(groups) < W {
+		engineWorkers = (W + len(groups) - 1) / len(groups)
+	}
+	pool := sched.New(W)
 	err = pool.Map(ctx, len(groups), func(ctx context.Context, gi int) error {
 		gid := groups[gi]
 		units := missingByGroup[gid]
@@ -286,10 +296,7 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 					types = append(types, t)
 				}
 			}
-			// Workers: 1 — parallelism lives at the group level; the
-			// warm chains are per-pair so worker count never changes
-			// results, only contention.
-			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: 1, Pairs: blockPairs}, types, dd.Returns)
+			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: engineWorkers, Pairs: blockPairs}, types, dd.Returns)
 			if err != nil {
 				return err
 			}

@@ -23,6 +23,9 @@ go build ./...
 echo "== go test -race ./internal/sweep ./internal/sched (orchestrator focus)"
 go test -race ./internal/sweep ./internal/sched
 
+echo "== go test -race ./internal/corr ./internal/sched (matrix engine focus)"
+go test -race ./internal/corr ./internal/sched
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -30,5 +33,11 @@ echo "== bench smoke: go test -run '^\$' -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x ./...
 
 sh scripts/sweep_smoke.sh
+
+echo "== bench gate: fresh kernel ratios vs committed BENCH_corr.json"
+bench_tmp=$(mktemp /tmp/mm_bench_gate.XXXXXX.json)
+trap 'rm -f "$bench_tmp"' EXIT
+go run ./cmd/mmscale -stocks 8 -days 1 -levels 2 -bench-json "$bench_tmp" >/dev/null
+go run ./cmd/mmbenchgate -fresh "$bench_tmp" -committed BENCH_corr.json
 
 echo "verify: OK"
