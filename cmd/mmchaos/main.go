@@ -1,0 +1,106 @@
+// Command mmchaos drives the deterministic crash/recovery harness: a
+// synthetic correlation-engine day run under the supervision runtime,
+// with seeded panics, crash-safe snapshots, and an optional hard
+// SIGKILL mid-day. The day's result is a single FNV-64 digest over
+// every matrix produced, so "the crashed-and-resumed run equals the
+// clean run" is one hex comparison — which is exactly what
+// scripts/chaos_smoke.sh does.
+//
+// Usage:
+//
+//	mmchaos -intervals 500                        # clean run, print digest
+//	mmchaos -snapshot day.snap -crash-after 200   # SIGKILL itself mid-day
+//	mmchaos -snapshot day.snap                    # resume; digest must match
+//	mmchaos -fail-at 60,130                       # seeded panics + restarts
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"marketminer/internal/chaos"
+	"marketminer/internal/corr"
+	"marketminer/internal/supervise"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 8, "universe size")
+		m         = flag.Int("m", 50, "correlation window M")
+		ctype     = flag.String("type", "maronna", "correlation measure: pearson | maronna | combined")
+		intervals = flag.Int("intervals", 500, "return intervals in the day")
+		seed      = flag.Int64("seed", 42, "synthetic return seed")
+		snapshot  = flag.String("snapshot", "", "crash-safe engine snapshot file (empty = none)")
+		every     = flag.Int("snapshot-every", 25, "intervals between snapshots")
+		crash     = flag.Int("crash-after", 0, "SIGKILL the process after this many pushes (0 = off)")
+		failAt    = flag.String("fail-at", "", "comma-separated intervals that panic once each, e.g. 60,130")
+		quiet     = flag.Bool("quiet", false, "print only the final digest")
+	)
+	flag.Parse()
+	if err := run(*n, *m, *ctype, *intervals, *seed, *snapshot, *every, *crash, *failAt, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "mmchaos:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n, m int, ctype string, intervals int, seed int64, snapshot string, every, crash int, failAt string, quiet bool) error {
+	ct, err := corr.ParseType(ctype)
+	if err != nil {
+		return err
+	}
+	fails, err := parseFailAt(failAt)
+	if err != nil {
+		return err
+	}
+	cfg := chaos.DayConfig{
+		N: n, M: m, Type: ct, Intervals: intervals, Seed: seed,
+		SnapshotPath: snapshot, SnapshotEvery: every,
+		FailAt: fails, CrashAfter: crash,
+		Policy: supervise.Policy{InitialBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond},
+	}
+	if !quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "mmchaos: "+format+"\n", args...)
+		}
+	}
+	res, err := chaos.RunDay(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	if quiet {
+		fmt.Printf("%016x\n", res.Digest)
+		return nil
+	}
+	fmt.Printf("digest   %016x\n", res.Digest)
+	fmt.Printf("pushed   %d intervals (of %d)\n", res.Pushed, intervals)
+	if res.Resumed {
+		fmt.Printf("resumed  from snapshot at interval %d\n", res.ResumeCursor)
+	}
+	if res.ColdStart != "" {
+		fmt.Printf("coldstart %s\n", res.ColdStart)
+	}
+	if res.Report.Panics > 0 {
+		fmt.Printf("survived %d panics, %d restarts\n", res.Report.Panics, res.Report.Restarts)
+	}
+	return nil
+}
+
+func parseFailAt(text string) ([]int, error) {
+	if text == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(text, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad -fail-at interval %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

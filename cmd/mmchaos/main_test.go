@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunCleanAndWithPanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run(5, 20, "maronna", 120, 7, "", 25, 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(t.TempDir(), "day.snap")
+	if err := run(5, 20, "maronna", 120, 7, snap, 25, 0, "40,90", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(5, 20, "spearmanX", 120, 7, "", 25, 0, "", true); err == nil {
+		t.Error("unknown ctype should error")
+	}
+	if err := run(5, 20, "pearson", 120, 7, "", 25, 0, "40,x", true); err == nil {
+		t.Error("malformed -fail-at should error")
+	}
+}
+
+func TestParseFailAt(t *testing.T) {
+	got, err := parseFailAt(" 60, 130 ")
+	if err != nil || len(got) != 2 || got[0] != 60 || got[1] != 130 {
+		t.Fatalf("parseFailAt: %v %v", got, err)
+	}
+	if out, err := parseFailAt(""); err != nil || out != nil {
+		t.Errorf("empty fail-at: %v %v", out, err)
+	}
+	if _, err := parseFailAt("-3"); err == nil {
+		t.Error("negative interval accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	mmfeed -listen :9000 -stocks 10              # synthetic day, served live
 //	mmfeed -listen :9000 -in taq.csv -day 0      # replay an mmgen file
 //	mmfeed -rate 50000                           # pace ≈ 50k quotes/sec
+//	mmfeed -chaos seed=7,corrupt=8192,cut=65536  # serve through injected faults
 //
 // Pair it with:
 //
@@ -40,11 +41,12 @@ func main() {
 		seed   = flag.Int64("seed", 20080301, "synthetic data seed")
 		batch  = flag.Int("batch", 256, "quotes per wire batch")
 		rate   = flag.Float64("rate", 0, "pace the replay to ≈ this many quotes/sec (0 = full speed)")
+		chaosF = flag.String("chaos", "", "deterministic fault-injection spec for served connections, e.g. seed=7,corrupt=8192,cut=65536 (empty = off)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *listen, *in, *day, *stocks, *seed, *batch, *rate); err != nil {
+	if err := run(ctx, *listen, *in, *day, *stocks, *seed, *batch, *rate, *chaosF); err != nil {
 		fmt.Fprintln(os.Stderr, "mmfeed:", err)
 		os.Exit(1)
 	}
@@ -53,16 +55,29 @@ func main() {
 // run resolves the quote source, binds the listener and serves until
 // ctx is cancelled (the stream Finishes once fully published; late
 // subscribers keep getting the retained log).
-func run(ctx context.Context, listen, in string, day, stocks int, seed int64, batch int, rate float64) error {
+func run(ctx context.Context, listen, in string, day, stocks int, seed int64, batch int, rate float64, chaosSpec string) error {
 	quotes, uni, err := load(in, day, stocks, seed)
 	if err != nil {
 		return err
+	}
+	var ch *marketminer.Chaos
+	if chaosSpec != "" {
+		spec, err := marketminer.ParseChaosSpec(chaosSpec)
+		if err != nil {
+			return err
+		}
+		ch = marketminer.NewChaos(spec)
 	}
 	l, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("mmfeed: serving %d quotes (%d stocks, day %d) on %s\n", len(quotes), uni.Len(), day, l.Addr())
+	if ch != nil {
+		fmt.Printf("mmfeed: injecting faults on every served connection: %s\n", ch.Spec())
+		l = ch.Listener(l)
+		defer func() { fmt.Printf("mmfeed: chaos injected: %+v\n", ch.Stats()) }()
+	}
 	return serve(ctx, l, quotes, uni, batch, rate)
 }
 

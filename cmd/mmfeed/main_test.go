@@ -70,14 +70,17 @@ func TestPublishPacing(t *testing.T) {
 
 func TestRunRejectsBadConfig(t *testing.T) {
 	ctx := context.Background()
-	if err := run(ctx, "127.0.0.1:0", "", 0, 1, 9, 256, 0); err == nil {
+	if err := run(ctx, "127.0.0.1:0", "", 0, 1, 9, 256, 0, ""); err == nil {
 		t.Error("stocks < 2 should error")
 	}
-	if err := run(ctx, "127.0.0.1:0", "/nonexistent.csv", 0, 4, 9, 256, 0); err == nil {
+	if err := run(ctx, "127.0.0.1:0", "/nonexistent.csv", 0, 4, 9, 256, 0, ""); err == nil {
 		t.Error("missing CSV should error")
 	}
-	if err := run(ctx, "256.256.256.256:99999", "", 0, 4, 9, 256, 0); err == nil {
+	if err := run(ctx, "256.256.256.256:99999", "", 0, 4, 9, 256, 0, ""); err == nil {
 		t.Error("unbindable address should error")
+	}
+	if err := run(ctx, "127.0.0.1:0", "", 0, 4, 9, 256, 0, "typo=1"); err == nil {
+		t.Error("malformed chaos spec should error")
 	}
 }
 

@@ -11,6 +11,17 @@
 //	mmpipeline -in taq.csv -day 0            # replay a file
 //	mmpipeline -connect host:9000            # subscribe to an mmfeed server
 //	mmpipeline -ctype maronna -m 100 -w 60   # engine configuration
+//
+// Fault tolerance:
+//
+//	mmpipeline -connect host:9000 -chaos seed=7,cut=65536,partition=4
+//	    dial through injected cuts and refused connections (the CRC
+//	    wire protocol plus resume-from-sequence must keep the results
+//	    identical to a clean run);
+//	mmpipeline -supervise -snapshot engine.snap -quarantine poison.jsonl
+//	    run the DAG under the supervision runtime: panic isolation,
+//	    poison-message quarantine, and crash-safe correlation-engine
+//	    snapshots (a restart resumes from the last snapshot).
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"time"
 
@@ -27,33 +39,64 @@ import (
 	"marketminer/internal/taq"
 )
 
+// options collects the flag values; run grew too many knobs for a
+// positional parameter list.
+type options struct {
+	in, connect          string
+	day, stocks          int
+	seed                 int64
+	ctype                string
+	m, w                 int
+	d                    float64
+	workers              int
+	dot                  bool
+	chaos                string
+	supervise            bool
+	snapshot, quarantine string
+	snapshotEvery        int
+	drain                time.Duration
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "CSV quote file (empty = synthetic)")
-		connect = flag.String("connect", "", "mmfeed server address (overrides -in/-stocks)")
-		day     = flag.Int("day", 0, "day index to replay/generate")
-		stocks  = flag.Int("stocks", 10, "universe size for synthetic data (max 61)")
-		seed    = flag.Int64("seed", 20080301, "synthetic data seed")
-		ctype   = flag.String("ctype", "pearson", "correlation measure: pearson | maronna | combined")
-		m       = flag.Int("m", 100, "correlation window M")
-		w       = flag.Int("w", 60, "correlation average window W")
-		d       = flag.Float64("d", 0.0002, "divergence threshold (fraction)")
-		workers = flag.Int("workers", 0, "correlation workers (0 = GOMAXPROCS)")
-		dot     = flag.Bool("dot", false, "also print the executed DAG in Graphviz dot format")
-	)
+	var o options
+	flag.StringVar(&o.in, "in", "", "CSV quote file (empty = synthetic)")
+	flag.StringVar(&o.connect, "connect", "", "mmfeed server address (overrides -in/-stocks)")
+	flag.IntVar(&o.day, "day", 0, "day index to replay/generate")
+	flag.IntVar(&o.stocks, "stocks", 10, "universe size for synthetic data (max 61)")
+	flag.Int64Var(&o.seed, "seed", 20080301, "synthetic data seed")
+	flag.StringVar(&o.ctype, "ctype", "pearson", "correlation measure: pearson | maronna | combined")
+	flag.IntVar(&o.m, "m", 100, "correlation window M")
+	flag.IntVar(&o.w, "w", 60, "correlation average window W")
+	flag.Float64Var(&o.d, "d", 0.0002, "divergence threshold (fraction)")
+	flag.IntVar(&o.workers, "workers", 0, "correlation workers (0 = GOMAXPROCS)")
+	flag.BoolVar(&o.dot, "dot", false, "also print the executed DAG in Graphviz dot format")
+	flag.StringVar(&o.chaos, "chaos", "", "deterministic fault-injection spec: applied to the dial path with -connect, to the quote stream otherwise")
+	flag.BoolVar(&o.supervise, "supervise", false, "run the DAG under the supervision runtime")
+	flag.StringVar(&o.snapshot, "snapshot", "", "crash-safe correlation-engine snapshot file (implies -supervise)")
+	flag.StringVar(&o.quarantine, "quarantine", "", "poison-message journal file (implies -supervise)")
+	flag.IntVar(&o.snapshotEvery, "snapshot-every", 25, "matrices between engine snapshots")
+	flag.DurationVar(&o.drain, "drain", 0, "graceful-drain timeout on interrupt (0 = abort immediately)")
 	flag.Parse()
-	if err := run(*in, *connect, *day, *stocks, *seed, *ctype, *m, *w, *d, *workers, *dot); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mmpipeline:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, connect string, day, stocks int, seed int64, ctype string, m, w int, d float64, workers int, dot bool) error {
-	ct, err := corr.ParseType(ctype)
+func run(o options) error {
+	ct, err := corr.ParseType(o.ctype)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
+	var ch *marketminer.Chaos
+	if o.chaos != "" {
+		spec, err := marketminer.ParseChaosSpec(o.chaos)
+		if err != nil {
+			return err
+		}
+		ch = marketminer.NewChaos(spec)
+	}
 
 	// Resolve the quote source: networked collector, CSV replay, or
 	// synthetic generation — the three interchangeable collector
@@ -63,43 +106,72 @@ func run(in, connect string, day, stocks int, seed int64, ctype string, m, w int
 		uni       *marketminer.Universe
 		collector *marketminer.FeedCollector
 	)
-	if connect != "" {
-		collector = marketminer.NewFeedCollector(marketminer.FeedCollectorConfig{Addr: connect})
+	if o.connect != "" {
+		ccfg := marketminer.FeedCollectorConfig{Addr: o.connect}
+		if ch != nil {
+			// Chaos on the networked path wraps the dialer: faults hit
+			// the wire, and the protocol must recover them losslessly.
+			tcp := &net.Dialer{}
+			addr := o.connect
+			ccfg.Dial = ch.Dialer(func(ctx context.Context) (net.Conn, error) {
+				return tcp.DialContext(ctx, "tcp", addr)
+			})
+			fmt.Printf("chaos: injecting faults on the dial path: %s\n", ch.Spec())
+		}
+		collector = marketminer.NewFeedCollector(ccfg)
 		go collector.Run(ctx)
 		uctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 		uni, err = collector.Universe(uctx)
 		cancel()
 		if err != nil {
-			return fmt.Errorf("connecting to feed %s: %w", connect, err)
+			return fmt.Errorf("connecting to feed %s: %w", o.connect, err)
 		}
 		src = marketminer.ChannelSource(collector.Quotes())
-		fmt.Printf("feed: connected to %s, %d stocks\n", connect, uni.Len())
+		fmt.Printf("feed: connected to %s, %d stocks\n", o.connect, uni.Len())
 	} else {
 		var quotes []taq.Quote
-		if in != "" {
-			quotes, uni, err = loadCSV(in, day)
+		if o.in != "" {
+			quotes, uni, err = loadCSV(o.in, o.day)
 		} else {
-			quotes, uni, err = synthetic(stocks, seed, day)
+			quotes, uni, err = synthetic(o.stocks, o.seed, o.day)
 		}
 		if err != nil {
 			return err
 		}
 		src = marketminer.SliceSource(quotes)
-		fmt.Printf("feed: %d quotes, %d stocks, day %d\n", len(quotes), uni.Len(), day)
+		if ch != nil {
+			// Chaos on an in-process source perturbs the data itself
+			// (drops, duplicates, reorders) — visible damage for
+			// exercising the cleaning stage and the supervision runtime.
+			src = ch.Source(src)
+			fmt.Printf("chaos: perturbing the quote stream: %s\n", ch.Spec())
+		}
+		fmt.Printf("feed: %d quotes, %d stocks, day %d\n", len(quotes), uni.Len(), o.day)
 	}
 
 	p := marketminer.DefaultParams()
 	p.Ctype = ct
-	p.M = m
-	p.W = w
-	p.D = d
+	p.M = o.m
+	p.W = o.w
+	p.D = o.d
 	cfg := marketminer.PipelineConfig{
 		Universe: uni,
 		Params:   []marketminer.Params{p},
-		Workers:  workers,
+		Workers:  o.workers,
+	}
+	if o.supervise || o.snapshot != "" || o.quarantine != "" {
+		cfg.Supervise = &marketminer.SuperviseOptions{
+			SnapshotPath:   o.snapshot,
+			SnapshotEvery:  o.snapshotEvery,
+			QuarantinePath: o.quarantine,
+			DrainTimeout:   o.drain,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "supervise: "+format+"\n", args...)
+			},
+		}
 	}
 	start := time.Now()
-	res, err := marketminer.RunLivePipelineFrom(ctx, cfg, src, day)
+	res, err := marketminer.RunLivePipelineFrom(ctx, cfg, src, o.day)
 	if err != nil {
 		return err
 	}
@@ -125,7 +197,26 @@ func run(in, connect string, day, stocks int, seed int64, ctype string, m, w int
 	for _, s := range res.NodeStats {
 		fmt.Printf("  %-24s %10d %11d\n", s.Name, s.Received, s.Emitted)
 	}
-	if dot {
+	if sup := res.Supervision; sup != nil {
+		fmt.Printf("\nSUPERVISION\n")
+		if sup.Resumed {
+			fmt.Printf("  resumed from snapshot at interval %d\n", sup.ResumeCursor)
+		}
+		if sup.ColdStart != "" {
+			fmt.Printf("  cold start: %s\n", sup.ColdStart)
+		}
+		fmt.Printf("  snapshots written       %8d\n", sup.Snapshots)
+		for _, st := range sup.Stages {
+			if st.Panics > 0 || st.Quarantined > 0 || st.Skipped > 0 {
+				fmt.Printf("  stage %-18s %d panics, %d quarantined, %d skipped\n",
+					st.Name, st.Panics, st.Quarantined, st.Skipped)
+			}
+		}
+	}
+	if ch != nil {
+		fmt.Printf("\nchaos: injected %+v\n", ch.Stats())
+	}
+	if o.dot {
 		fmt.Println("\n" + res.GraphDOT)
 	}
 	return nil

@@ -11,21 +11,56 @@ import (
 	"marketminer/internal/taq"
 )
 
+// testOptions is the smallest fast configuration for a synthetic day.
+func testOptions() options {
+	return options{
+		stocks: 4, seed: 9, ctype: "pearson",
+		m: 30, w: 20, d: 0.005, workers: 1,
+	}
+}
+
 func TestRunSyntheticDay(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("", "", 0, 4, 9, "pearson", 30, 20, 0.005, 1, true); err != nil {
+	o := testOptions()
+	o.dot = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSupervisedChaoticDay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The CLI's fault-tolerance surface end to end: a perturbed quote
+	// stream through the supervised DAG, snapshotting the engine.
+	o := testOptions()
+	o.chaos = "seed=5,drop=0.01,dup=0.01"
+	o.supervise = true
+	o.snapshot = filepath.Join(t.TempDir(), "engine.snap")
+	o.quarantine = filepath.Join(t.TempDir(), "poison.jsonl")
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run("", "", 0, 4, 9, "spearmanX", 30, 20, 0.005, 1, false); err == nil {
+	o := testOptions()
+	o.ctype = "spearmanX"
+	if err := run(o); err == nil {
 		t.Error("unknown ctype should error")
 	}
-	if err := run("", "", 0, 1, 9, "pearson", 30, 20, 0.005, 1, false); err == nil {
+	o = testOptions()
+	o.stocks = 1
+	if err := run(o); err == nil {
 		t.Error("stocks < 2 should error")
+	}
+	o = testOptions()
+	o.chaos = "typo=1"
+	if err := run(o); err == nil {
+		t.Error("malformed chaos spec should error")
 	}
 }
 
@@ -92,7 +127,9 @@ func TestRunConnectedToFeed(t *testing.T) {
 	s.PublishBatch(quotes)
 	s.Finish()
 
-	if err := run("", l.Addr().String(), 0, 0, 0, "pearson", 30, 20, 0.005, 1, false); err != nil {
+	o := testOptions()
+	o.connect = l.Addr().String()
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks connection errors manufactured by the harness, so
+// logs distinguish injected faults from real ones.
+type ErrInjected struct {
+	Fault  string // "disconnect" or "partition"
+	ConnID int64
+	Offset int64 // byte offset of the fault, -1 for partitions
+}
+
+func (e *ErrInjected) Error() string {
+	if e.Offset < 0 {
+		return fmt.Sprintf("chaos: injected %s (conn %d)", e.Fault, e.ConnID)
+	}
+	return fmt.Sprintf("chaos: injected %s (conn %d, byte %d)", e.Fault, e.ConnID, e.Offset)
+}
+
+// WrapConn applies the schedule to one connection. Reads and writes
+// get independent deterministic fault streams; a cut closes the
+// underlying connection so both peers observe the failure.
+func (c *Chaos) WrapConn(nc net.Conn) net.Conn {
+	id := c.nextID.Add(1)
+	c.conns.Add(1)
+	return &conn{
+		Conn: nc,
+		ch:   c,
+		id:   id,
+		rd:   newStream(c.spec, uint64(c.spec.Seed), uint64(id), 0),
+		wr:   newStream(c.spec, uint64(c.spec.Seed), uint64(id), 1),
+	}
+}
+
+// partitioned reports whether connection attempt id falls inside an
+// injected partition window.
+func (c *Chaos) partitioned(id int64) bool {
+	every := c.spec.PartitionEvery
+	return every > 0 && mix(uint64(c.spec.Seed), kindPartition, uint64(id))%uint64(every) == 0
+}
+
+// Listener wraps l so accepted connections run under the schedule.
+// Partitioned attempts are closed immediately after accept — the
+// client sees an instant EOF, exactly like a half-open network cut.
+func (c *Chaos) Listener(l net.Listener) net.Listener { return &listener{Listener: l, ch: c} }
+
+type listener struct {
+	net.Listener
+	ch *Chaos
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		id := l.ch.nextID.Add(1)
+		l.ch.conns.Add(1)
+		if l.ch.partitioned(id) {
+			l.ch.partitions.Add(1)
+			nc.Close()
+			continue
+		}
+		return &conn{
+			Conn: nc,
+			ch:   l.ch,
+			id:   id,
+			rd:   newStream(l.ch.spec, uint64(l.ch.spec.Seed), uint64(id), 0),
+			wr:   newStream(l.ch.spec, uint64(l.ch.spec.Seed), uint64(id), 1),
+		}, nil
+	}
+}
+
+// Dialer wraps a dial function (e.g. feed.CollectorConfig.Dial) so
+// every outbound connection runs under the schedule. Partitioned
+// attempts fail without touching the network; the caller's normal
+// backoff-and-retry path carries the client through the partition.
+func (c *Chaos) Dialer(dial func(ctx context.Context) (net.Conn, error)) func(ctx context.Context) (net.Conn, error) {
+	return func(ctx context.Context) (net.Conn, error) {
+		id := c.nextID.Add(1)
+		c.conns.Add(1)
+		if c.partitioned(id) {
+			c.partitions.Add(1)
+			return nil, &ErrInjected{Fault: "partition", ConnID: id, Offset: -1}
+		}
+		nc, err := dial(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &conn{
+			Conn: nc,
+			ch:   c,
+			id:   id,
+			rd:   newStream(c.spec, uint64(c.spec.Seed), uint64(id), 0),
+			wr:   newStream(c.spec, uint64(c.spec.Seed), uint64(id), 1),
+		}, nil
+	}
+}
+
+// stream holds one direction's fault state. Offsets are absolute byte
+// positions in the direction's stream, so fault placement is invariant
+// to how the peer chunks its reads and writes.
+type stream struct {
+	mu      sync.Mutex
+	off     int64
+	corrupt eventStream
+	cut     eventStream
+	delay   eventStream
+	seed    uint64
+	max     time.Duration
+}
+
+func newStream(spec Spec, seed, id, dir uint64) *stream {
+	s := mix(seed, id, dir)
+	delayEvery := spec.DelayEvery
+	if spec.MaxDelay <= 0 {
+		delayEvery = 0
+	}
+	return &stream{
+		corrupt: newEventStream(s, kindCorrupt, spec.CorruptEvery),
+		cut:     newEventStream(s, kindCut, spec.CutEvery),
+		delay:   newEventStream(s, kindDelay, delayEvery),
+		seed:    s,
+		max:     spec.MaxDelay,
+	}
+}
+
+// apply mutates data in place according to the schedule and returns
+// how many bytes survive (the rest fall past an injected cut) plus the
+// cut offset (-1 if no cut fired in this window).
+func (s *stream) apply(ch *Chaos, data []byte) (keep int, cutAt int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.off + int64(len(data))
+	cutAt = -1
+	if s.cut.hits(end) {
+		cutAt = s.cut.next
+		end = cutAt
+		s.cut.advance()
+	}
+	keep = int(end - s.off)
+	var sleep time.Duration
+	for s.delay.hits(end) {
+		sleep += 1 + time.Duration(mix(s.seed, kindDelayDur, s.delay.n)%uint64(s.max))
+		s.delay.advance()
+		ch.delays.Add(1)
+	}
+	for s.corrupt.hits(end) {
+		bit := mix(s.seed, kindCorruptBit, s.corrupt.n) % 8
+		data[s.corrupt.next-s.off] ^= 1 << bit
+		s.corrupt.advance()
+		ch.corrupts.Add(1)
+	}
+	s.off = end
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return keep, cutAt
+}
+
+type conn struct {
+	net.Conn
+	ch *Chaos
+	id int64
+	rd *stream
+	wr *stream
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n <= 0 {
+		return n, err
+	}
+	keep, cutAt := c.rd.apply(c.ch, p[:n])
+	if cutAt < 0 {
+		return n, err
+	}
+	// Injected disconnect: deliver the bytes before the cut, sever the
+	// connection, and surface the fault on the next read.
+	c.ch.cuts.Add(1)
+	c.Conn.Close()
+	if keep > 0 {
+		return keep, nil
+	}
+	return 0, &ErrInjected{Fault: "disconnect", ConnID: c.id, Offset: cutAt}
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	buf := append([]byte(nil), p...)
+	keep, cutAt := c.wr.apply(c.ch, buf)
+	if cutAt < 0 {
+		return c.Conn.Write(buf)
+	}
+	c.ch.cuts.Add(1)
+	n, _ := c.Conn.Write(buf[:keep])
+	c.Conn.Close()
+	return n, &ErrInjected{Fault: "disconnect", ConnID: c.id, Offset: cutAt}
+}

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"syscall"
+
+	"marketminer/internal/corr"
+	"marketminer/internal/supervise"
+)
+
+// DayConfig drives one crash-safe OnlineEngine day: a deterministic
+// synthetic return stream pushed interval by interval under the
+// supervisor, with periodic warm-state snapshots. It is the harness
+// behind the kill/restore acceptance test — a process SIGKILLed
+// mid-day must, on restart, resume from its last snapshot and finish
+// with a digest bit-identical to an uninterrupted run.
+type DayConfig struct {
+	// N stocks, M-interval window, Type estimator, Intervals pushes.
+	N         int
+	M         int
+	Type      corr.Type
+	Intervals int
+	// Seed fixes the synthetic return stream.
+	Seed int64
+	// SnapshotPath persists warm state ("" disables snapshots: a
+	// restart replays the whole day from the open).
+	SnapshotPath string
+	// SnapshotEvery is the interval count between snapshots
+	// (default 25).
+	SnapshotEvery int
+	// FailAt lists intervals that panic once each, exercising the
+	// supervised restart-from-snapshot path in-process.
+	FailAt []int
+	// CrashAfter, when positive, SIGKILLs the process after that many
+	// pushes — a real crash for subprocess tests, no deferred cleanup.
+	CrashAfter int
+	// Policy tunes the supervisor (zero value = defaults).
+	Policy supervise.Policy
+	// Logf receives warnings (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// DayResult reports one (possibly resumed) day run.
+type DayResult struct {
+	// Digest is the FNV-64a digest of every matrix of the day, in
+	// interval order — the bit-identity witness.
+	Digest uint64
+	// Pushed counts intervals this process actually recomputed; a
+	// resumed run pushes fewer than Intervals.
+	Pushed int
+	// Resumed reports whether warm state was restored from a snapshot.
+	Resumed bool
+	// ResumeCursor is the first interval computed after the restore.
+	ResumeCursor int
+	// ColdStart carries the warning when a snapshot existed but was
+	// rejected (corrupt, truncated, or invalid fields).
+	ColdStart string
+	// Report is the supervisor's restart accounting.
+	Report supervise.TaskReport
+}
+
+// dayState is the snapshot payload: the engine's warm state plus the
+// harness cursor and running digest, so the digest provably continues
+// from the crash point instead of being recomputed.
+type dayState struct {
+	Cursor int                  `json:"cursor"`
+	Digest uint64               `json:"digest"`
+	Engine *corr.EngineSnapshot `json:"engine"`
+}
+
+const fnvBasis = 0xcbf29ce484222325
+
+// fnvMix folds one 64-bit word into an FNV-64a digest, byte by byte.
+func fnvMix(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= 0x100000001b3
+		w >>= 8
+	}
+	return h
+}
+
+func digestMatrix(h uint64, u int, m *corr.Matrix) uint64 {
+	h = fnvMix(h, uint64(u))
+	if m == nil {
+		return fnvMix(h, 0xdead)
+	}
+	for _, v := range m.Values() {
+		h = fnvMix(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// DayReturns builds the deterministic synthetic return stream of a
+// day: a common AR(1) factor plus idiosyncratic noise and occasional
+// outlier bursts (so the robust warm-fit chain sees cold starts too).
+func DayReturns(seed int64, intervals, n int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, intervals)
+	common := 0.0
+	for u := range out {
+		common = 0.6*common + 0.01*rng.NormFloat64()
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = common + 0.02*rng.NormFloat64()
+			if rng.Float64() < 0.01 {
+				v[i] += 0.4
+			}
+		}
+		out[u] = v
+	}
+	return out
+}
+
+// RunDay executes the day under the supervisor. Panics listed in
+// FailAt restart the task; each restart reloads the latest snapshot
+// (or cold-starts when there is none or it is rejected) and replays
+// only the lost intervals.
+func (cfg DayConfig) fingerprint(e *corr.OnlineEngine) string {
+	return fmt.Sprintf("%s|day seed=%d intervals=%d", e.Fingerprint(), cfg.Seed, cfg.Intervals)
+}
+
+func RunDay(ctx context.Context, cfg DayConfig) (*DayResult, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 25
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rets := DayReturns(cfg.Seed, cfg.Intervals, cfg.N)
+	failed := make(map[int]bool)
+	res := &DayResult{}
+
+	rep, err := supervise.Run(ctx, "engine-day", cfg.Policy, func(ctx context.Context, progress func()) error {
+		eng, err := corr.NewOnlineEngine(corr.EngineConfig{Type: cfg.Type, M: cfg.M}, cfg.N)
+		if err != nil {
+			return err
+		}
+		cursor := 0
+		digest := uint64(fnvBasis)
+		if cfg.SnapshotPath != "" {
+			var st dayState
+			err := supervise.LoadSnapshot(cfg.SnapshotPath, cfg.fingerprint(eng), &st)
+			switch {
+			case err == nil:
+				if rerr := eng.Restore(st.Engine); rerr != nil {
+					res.ColdStart = rerr.Error()
+					logf("chaos: snapshot rejected, cold-starting: %v", rerr)
+				} else {
+					cursor, digest = st.Cursor, st.Digest
+					res.Resumed = true
+					res.ResumeCursor = cursor
+				}
+			case errors.Is(err, supervise.ErrNoSnapshot):
+				// First run of the day: nothing to resume.
+			default:
+				res.ColdStart = err.Error()
+				logf("chaos: snapshot unusable, cold-starting: %v", err)
+			}
+		}
+		for u := cursor; u < cfg.Intervals; u++ {
+			if len(failed) < len(cfg.FailAt) {
+				for _, f := range cfg.FailAt {
+					if f == u && !failed[u] {
+						failed[u] = true
+						panic(fmt.Sprintf("chaos: injected stage crash at interval %d", u))
+					}
+				}
+			}
+			m, err := eng.Push(rets[u])
+			if err != nil {
+				return err
+			}
+			digest = digestMatrix(digest, u, m)
+			res.Pushed++
+			progress()
+			if cfg.SnapshotPath != "" && (u+1)%cfg.SnapshotEvery == 0 {
+				st := dayState{Cursor: u + 1, Digest: digest, Engine: eng.Snapshot()}
+				if err := supervise.SaveSnapshot(cfg.SnapshotPath, cfg.fingerprint(eng), st); err != nil {
+					return fmt.Errorf("chaos: snapshot: %w", err)
+				}
+			}
+			if cfg.CrashAfter > 0 && res.Pushed >= cfg.CrashAfter {
+				// A real crash: no deferred cleanup, no atexit — the
+				// snapshot on disk is all the next process gets.
+				syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+			}
+		}
+		res.Digest = digest
+		return nil
+	})
+	res.Report = rep
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"marketminer/internal/corr"
+	"marketminer/internal/supervise"
+)
+
+func dayConfig(snapshot string) DayConfig {
+	return DayConfig{
+		N: 5, M: 20, Type: corr.Maronna, Intervals: 200, Seed: 77,
+		SnapshotPath: snapshot, SnapshotEvery: 25,
+		Policy: supervise.Policy{InitialBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	}
+}
+
+func cleanDigest(t *testing.T) uint64 {
+	t.Helper()
+	res, err := RunDay(context.Background(), dayConfig(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pushed != 200 || res.Resumed {
+		t.Fatalf("clean run: %+v", res)
+	}
+	return res.Digest
+}
+
+func TestDayDigestDeterministic(t *testing.T) {
+	if cleanDigest(t) != cleanDigest(t) {
+		t.Fatal("clean day digest not reproducible")
+	}
+}
+
+func TestDayPanicsResumeFromSnapshotBitIdentical(t *testing.T) {
+	want := cleanDigest(t)
+	cfg := dayConfig(filepath.Join(t.TempDir(), "day.snap"))
+	cfg.FailAt = []int{60, 130}
+	res, err := RunDay(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want {
+		t.Errorf("digest %016x after crashes, want %016x (bit-identity broken)", res.Digest, want)
+	}
+	if res.Report.Restarts != 2 || res.Report.Panics != 2 {
+		t.Errorf("report: %+v, want 2 restarts from 2 panics", res.Report)
+	}
+	if !res.Resumed {
+		t.Error("restarts never restored a snapshot")
+	}
+	// Crash at 60 resumes from the interval-50 snapshot, crash at 130
+	// from interval-125: only the lost tails are replayed.
+	if res.Pushed != 200+(60-50)+(130-125) {
+		t.Errorf("pushed %d intervals, want 215 (lost tails only, not the whole day)", res.Pushed)
+	}
+}
+
+func TestDayPanicsWithoutSnapshotsReplayFromOpen(t *testing.T) {
+	want := cleanDigest(t)
+	cfg := dayConfig("")
+	cfg.FailAt = []int{40}
+	res, err := RunDay(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want {
+		t.Errorf("digest mismatch on snapshot-less restart")
+	}
+	if res.Resumed || res.Pushed != 240 {
+		t.Errorf("%+v: want cold replay of all 200 intervals after 40 lost", res)
+	}
+}
+
+func TestDayCorruptSnapshotColdStartsWithWarning(t *testing.T) {
+	want := cleanDigest(t)
+	path := filepath.Join(t.TempDir(), "day.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	cfg := dayConfig(path)
+	cfg.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	res, err := RunDay(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != want {
+		t.Errorf("corrupt snapshot produced a wrong result (digest %016x, want %016x)", res.Digest, want)
+	}
+	if res.Resumed || res.ColdStart == "" {
+		t.Errorf("corrupt snapshot not reported: %+v", res)
+	}
+	if len(logged) == 0 || !strings.Contains(strings.Join(logged, "\n"), "cold-start") {
+		t.Errorf("no cold-start warning logged: %q", logged)
+	}
+}
+
+func TestDayRejectedFieldsColdStart(t *testing.T) {
+	// A structurally valid snapshot whose engine state fails field
+	// validation (satellite 6) must also cold-start, not crash or
+	// mis-resume.
+	want := cleanDigest(t)
+	path := filepath.Join(t.TempDir(), "day.snap")
+	cfg := dayConfig(path)
+
+	eng, err := corr.NewOnlineEngine(corr.EngineConfig{Type: cfg.Type, M: cfg.M}, cfg.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range DayReturns(cfg.Seed, 30, cfg.N) {
+		if _, err := eng.Push(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := eng.Snapshot()
+	snap.Head = cfg.M + 3 // out of range: must be rejected on restore
+	st := dayState{Cursor: 30, Digest: 12345, Engine: snap}
+	if err := supervise.SaveSnapshot(path, cfg.fingerprint(eng), st); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunDay(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed || !strings.Contains(res.ColdStart, "head") {
+		t.Errorf("invalid snapshot fields not rejected: %+v", res)
+	}
+	if res.Digest != want {
+		t.Errorf("rejected snapshot still skewed the result")
+	}
+}
+
+// TestDayCrashHelper is not a test: it is the subprocess body for the
+// SIGKILL test below, selected via environment variable.
+func TestDayCrashHelper(t *testing.T) {
+	if os.Getenv("MM_CHAOS_DAY_HELPER") != "1" {
+		t.Skip("helper process only")
+	}
+	cfg := dayConfig(os.Getenv("MM_CHAOS_DAY_SNAPSHOT"))
+	cfg.CrashAfter = 120
+	RunDay(context.Background(), cfg)
+	t.Fatal("helper survived its own SIGKILL")
+}
+
+func TestDaySIGKILLThenResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want := cleanDigest(t)
+	path := filepath.Join(t.TempDir(), "day.snap")
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestDayCrashHelper", "-test.v")
+	cmd.Env = append(os.Environ(), "MM_CHAOS_DAY_HELPER=1", "MM_CHAOS_DAY_SNAPSHOT="+path)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("helper exited cleanly; expected SIGKILL mid-day:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != -1 {
+		t.Fatalf("helper died of %v, want a signal:\n%s", err, out)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("killed process left no snapshot: %v", err)
+	}
+
+	res, err := RunDay(context.Background(), dayConfig(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed || res.ResumeCursor != 100 {
+		t.Errorf("resume: %+v, want restore from the interval-100 snapshot", res)
+	}
+	if res.Pushed != 100 {
+		t.Errorf("pushed %d intervals, want 100 (resume must not replay from the open)", res.Pushed)
+	}
+	if res.Digest != want {
+		t.Errorf("digest %016x after SIGKILL+resume, want %016x", res.Digest, want)
+	}
+}

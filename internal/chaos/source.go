@@ -1,0 +1,69 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"marketminer/internal/core"
+	"marketminer/internal/taq"
+)
+
+// Source wraps a pipeline quote source with quote-level faults: drops,
+// duplicates, adjacent-pair reorders, and delays, each decided by the
+// quote's position in the stream. Unlike the connection wrappers —
+// whose faults the feed protocol must absorb losslessly — a chaotic
+// source visibly perturbs the data; it exists to measure how sensitive
+// downstream results are to feed imperfections (the Fil-style
+// robustness question), and to do so reproducibly.
+func (c *Chaos) Source(src core.QuoteSource) core.QuoteSource {
+	return func(ctx context.Context, emit func(taq.Quote) bool) error {
+		seed := uint64(c.spec.Seed)
+		var idx uint64
+		var held taq.Quote
+		var holding bool
+		out := func(q taq.Quote) bool {
+			if c.spec.DelayEvery > 0 && c.spec.MaxDelay > 0 &&
+				mix(seed, kindSourceDelay, idx)%uint64(c.spec.DelayEvery) == 0 {
+				c.delays.Add(1)
+				time.Sleep(1 + time.Duration(mix(seed, kindDelayDur, idx)%uint64(c.spec.MaxDelay)))
+			}
+			return emit(q)
+		}
+		ok := true
+		err := src(ctx, func(q taq.Quote) bool {
+			i := idx
+			idx++
+			if c.spec.DropRate > 0 && hashRate(mix(seed, kindDrop, i)) < c.spec.DropRate {
+				c.drops.Add(1)
+				return ok
+			}
+			if holding {
+				// A reordered predecessor is waiting: emit the current
+				// quote first, then release it.
+				holding = false
+				if ok = out(q) && out(held); !ok {
+					return false
+				}
+				return ok
+			}
+			if c.spec.ReorderRate > 0 && hashRate(mix(seed, kindReorder, i)) < c.spec.ReorderRate {
+				c.reorders.Add(1)
+				held, holding = q, true
+				return ok
+			}
+			if ok = out(q); !ok {
+				return false
+			}
+			if c.spec.DupRate > 0 && hashRate(mix(seed, kindDup, i)) < c.spec.DupRate {
+				c.dups.Add(1)
+				ok = out(q)
+			}
+			return ok
+		})
+		if holding && ok {
+			// Stream ended while a quote was held for reordering.
+			out(held)
+		}
+		return err
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"marketminer/internal/risk"
 	"marketminer/internal/series"
 	"marketminer/internal/strategy"
+	"marketminer/internal/supervise"
 	"marketminer/internal/taq"
 )
 
@@ -46,6 +47,12 @@ type PipelineConfig struct {
 	// Risk configures the master node's pre-trade limits; the zero
 	// value is unlimited (the paper's evaluated configuration).
 	Risk risk.Limits
+	// Supervise, when non-nil, runs the DAG under the fault-tolerance
+	// runtime: panic isolation with retry and poison-message
+	// quarantine on the data stages, crash-safe correlation-engine
+	// snapshots, bounded ingress accounting, and graceful drain. See
+	// SuperviseOptions.
+	Supervise *SuperviseOptions
 }
 
 func (c PipelineConfig) validate() error {
@@ -115,6 +122,9 @@ type PipelineResult struct {
 	// GraphDOT is the executed DAG in Graphviz dot format — a
 	// machine-readable Figure 1.
 	GraphDOT string
+	// Supervision is the fault-tolerance runtime's accounting (nil
+	// when PipelineConfig.Supervise is nil).
+	Supervision *SupervisionReport
 }
 
 // QuoteSource feeds the pipeline's collector node. It must call emit
@@ -202,6 +212,26 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 		return nil, err
 	}
 
+	sup, err := newSupervisor(cfg.Supervise)
+	if err != nil {
+		return nil, err
+	}
+	// The snapshot fingerprint binds warm state to everything that
+	// shapes it: engine configuration plus day and grid spacing.
+	fingerprint := fmt.Sprintf("%s|day=%d|ds=%d", online.Fingerprint(), day, p0.DeltaS)
+	sup.restore(online, fingerprint)
+	// In drain mode the graph runs on a detached context and only the
+	// source observes user cancellation: the stream ends, every stage
+	// finishes its in-flight work, and partial results come back clean.
+	// stopOnCancel sits inside boundSource so the ingress queue's
+	// producer also stops on cancellation instead of blocking against a
+	// detached context.
+	drain := sup != nil && sup.opts.DrainTimeout > 0
+	if drain {
+		source = stopOnCancel(source, ctx)
+	}
+	source = sup.boundSource(source)
+
 	res := &PipelineResult{Trades: make([][]strategy.Trade, len(cfg.Params))}
 	g := engine.NewGraph()
 
@@ -215,14 +245,14 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 
 	// Cleaning stage (the TCP-like filter of §III).
 	filter := clean.NewFilter(cfg.Clean)
-	cleaner := g.Node("cleaner", 1, func(ctx context.Context, m engine.Message, emit engine.Emit) error {
+	cleaner := g.Node("cleaner", 1, sup.wrap("cleaner", quoteKey, func(ctx context.Context, m engine.Message, emit engine.Emit) error {
 		q := m.(taq.Quote)
 		if filter.Accept(q) == clean.OK {
 			res.QuotesClean++
 			emit(q)
 		}
 		return nil
-	})
+	}))
 
 	// OHLC bar accumulator: folds quotes into the shared grid and
 	// emits one tick per completed interval.
@@ -235,18 +265,33 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 	taNodeID := g.Node("technical-analysis", 1, ta.process)
 
 	// Parallel correlation engine.
-	corrNode := g.Node("correlation", 1, func(ctx context.Context, m engine.Message, emit engine.Emit) error {
+	corrNode := g.Node("correlation", 1, sup.wrap("correlation", intervalKey, func(ctx context.Context, m engine.Message, emit engine.Emit) error {
 		rm := m.(retMsg)
+		if sup.skip(rm.S) {
+			// The restored warm windows already contain this interval.
+			return nil
+		}
 		mx, err := online.Push(rm.Rets)
 		if err != nil {
+			if sup != nil {
+				// Supervised runs treat a bad return vector as poison
+				// data, not a stream abort: the panic routes it through
+				// retry → quarantine and the day continues. (A failed
+				// Push never advances the ring, so retrying or skipping
+				// the interval leaves the engine consistent.)
+				panic(fmt.Sprintf("correlation: interval %d: %v", rm.S, err))
+			}
 			return err
 		}
 		if mx != nil {
 			res.Matrices++
 			emit(corrMsg{S: rm.S, Matrix: mx})
+			if err := sup.snapshot(online, fingerprint, rm.S); err != nil {
+				return err
+			}
 		}
 		return nil
-	})
+	}))
 
 	// One strategy node per parameter set, all fed by the correlation
 	// engine, all reporting orders to the master.
@@ -258,7 +303,8 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 			return nil, err
 		}
 		stratNodes[i] = sn
-		stratIDs[i] = g.Node(fmt.Sprintf("strategy-%d", i), 1, sn.process)
+		name := fmt.Sprintf("strategy-%d", i)
+		stratIDs[i] = g.Node(name, 1, sup.wrap(name, matrixKey, sn.process))
 	}
 
 	// Master: aggregates order baskets into a single book behind the
@@ -311,8 +357,27 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 	}
 
 	res.GraphDOT = g.DOT("marketminer-figure1")
-	if err := g.Run(ctx); err != nil {
-		return nil, err
+	if drain {
+		detached, abort := context.WithCancel(context.WithoutCancel(ctx))
+		defer abort()
+		done := make(chan struct{})
+		var runErr error
+		go func() {
+			defer close(done)
+			runErr = g.Run(detached)
+		}()
+		drained := supervise.GracefulDrain(ctx, done, sup.opts.DrainTimeout, abort)
+		sup.report.Drained = drained
+		if runErr != nil && (drained || !errors.Is(runErr, context.Canceled)) {
+			return nil, runErr
+		}
+	} else {
+		if err := g.Run(ctx); err != nil {
+			return nil, err
+		}
+		if sup != nil {
+			sup.report.Drained = true
+		}
 	}
 	for i, sn := range stratNodes {
 		res.Trades[i] = sn.trades()
@@ -320,6 +385,7 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 	res.CashPnL = manager.Book().CashPnL()
 	res.BookFlat = manager.Book().Flat()
 	res.NodeStats = g.Stats()
+	sup.finish(res)
 	return res, nil
 }
 

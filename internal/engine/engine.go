@@ -25,6 +25,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -338,7 +339,7 @@ func (g *Graph) runNode(ctx context.Context, n *node) error {
 	}
 
 	if n.src != nil {
-		return n.src(ctx, emit)
+		return safeCall(n.name, func() error { return n.src(ctx, emit) })
 	}
 
 	merged := mergeInputs(ctx, n)
@@ -350,8 +351,8 @@ func (g *Graph) runNode(ctx context.Context, n *node) error {
 			defer workers.Done()
 			for m := range merged {
 				n.inCnt.Add(1)
-				if err := n.proc(ctx, m, emit); err != nil {
-					errCh <- fmt.Errorf("engine: node %q: %w", n.name, err)
+				if err := safeCall(n.name, func() error { return n.proc(ctx, m, emit) }); err != nil {
+					errCh <- err
 					return
 				}
 			}
@@ -364,11 +365,38 @@ func (g *Graph) runNode(ctx context.Context, n *node) error {
 	default:
 	}
 	if n.flush != nil {
-		if err := n.flush(ctx, emit); err != nil {
-			return fmt.Errorf("engine: node %q flush: %w", n.name, err)
+		if err := safeCall(n.name+" flush", func() error { return n.flush(ctx, emit) }); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// safeCall runs one node callback, converting a panic into an error so
+// a bad message or buggy stage fails the graph cleanly (first-error
+// cancellation, every goroutine joined) instead of crashing the
+// process. The supervision layer can then decide whether to restart.
+func safeCall(name string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Node: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if err := fn(); err != nil {
+		return fmt.Errorf("engine: node %q: %w", name, err)
+	}
+	return nil
+}
+
+// PanicError reports a recovered panic from a node callback.
+type PanicError struct {
+	Node  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: node %q panicked: %v\n%s", e.Node, e.Value, e.Stack)
 }
 
 // mergeInputs funnels all in-edges of n into one channel, closing it

@@ -470,3 +470,55 @@ func indexOf(s, sub string) int {
 	}
 	return -1
 }
+
+func TestNodePanicBecomesError(t *testing.T) {
+	g := NewGraph()
+	src := g.Source("src", intsSource(10))
+	boom := g.Node("boom", 1, func(ctx context.Context, m Message, emit Emit) error {
+		if m.(int) == 3 {
+			panic("poison message")
+		}
+		return nil
+	})
+	g.Connect(src, boom, 4)
+	err := g.Run(context.Background())
+	if err == nil {
+		t.Fatal("panicking node should fail the graph, not crash the process")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Node != "boom" || pe.Value != "poison message" || len(pe.Stack) == 0 {
+		t.Errorf("panic error fields: node=%q value=%v stackLen=%d", pe.Node, pe.Value, len(pe.Stack))
+	}
+}
+
+func TestSourcePanicBecomesError(t *testing.T) {
+	g := NewGraph()
+	src := g.Source("src", func(ctx context.Context, emit Emit) error {
+		panic("source blew up")
+	})
+	snk := g.Node("sink", 1, (&collector{}).proc)
+	g.Connect(src, snk, 1)
+	err := g.Run(context.Background())
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Node != "src" {
+		t.Fatalf("err = %v, want *PanicError from src", err)
+	}
+}
+
+func TestFlushPanicBecomesError(t *testing.T) {
+	g := NewGraph()
+	src := g.Source("src", intsSource(3))
+	agg := g.Node("agg", 1, (&collector{}).proc)
+	g.Connect(src, agg, 4)
+	g.OnDrain(agg, func(ctx context.Context, emit Emit) error {
+		panic("flush blew up")
+	})
+	err := g.Run(context.Background())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError from flush", err)
+	}
+}

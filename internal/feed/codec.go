@@ -8,7 +8,14 @@
 //
 // The wire protocol is a compact length-prefixed binary framing:
 //
-//	[1 byte type][4 bytes payload length, LE][payload]
+//	[1 byte type][4 bytes payload length, LE][4 bytes CRC32, LE][payload]
+//
+// The CRC32 (IEEE) covers the type byte and the payload, so a flipped
+// bit anywhere in a frame — including its type — is detected at decode
+// time instead of silently corrupting quotes; a decoder that sees a
+// checksum mismatch reports a protocol error, which drops the
+// connection and lets the collector's resume-from-seq reconnect path
+// refetch the damaged batch losslessly.
 //
 // Frame types: Hello (server → client: version + symbol table),
 // Batch (sequence-numbered quote batches; symbols as dense uint16
@@ -24,6 +31,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -31,7 +39,8 @@ import (
 )
 
 // ProtocolVersion is the wire version carried in the Hello frame.
-const ProtocolVersion = 1
+// Version 2 added the per-frame CRC32 to the header.
+const ProtocolVersion = 2
 
 // MaxFrameSize bounds a single frame's payload; larger length prefixes
 // are treated as stream corruption, not allocation requests.
@@ -116,7 +125,7 @@ func (*Subscribe) frameType() FrameType { return FrameSubscribe }
 
 // Wire sizes.
 const (
-	frameHeaderSize = 5                     // type byte + uint32 length
+	frameHeaderSize = 9                     // type byte + uint32 length + uint32 crc
 	quoteWireSize   = 2 + 8 + 8 + 8 + 4 + 4 // idx, seqtime, bid, ask, bidsize, asksize
 	batchHeaderSize = 8 + 4 + 4             // seq, day, count
 	maxSymbolLen    = math.MaxUint16        // length prefix width
@@ -141,16 +150,21 @@ func NewEncoder(w io.Writer, uni *taq.Universe) *Encoder {
 // begin starts a frame of the given type, reserving the header.
 func (e *Encoder) begin(t FrameType) {
 	e.buf = e.buf[:0]
-	e.buf = append(e.buf, byte(t), 0, 0, 0, 0)
+	e.buf = append(e.buf, byte(t), 0, 0, 0, 0, 0, 0, 0, 0)
 }
 
-// finish patches the length prefix and flushes the frame.
+// finish patches the length prefix and checksum, then flushes the
+// frame. The CRC covers the type byte and payload so header and body
+// corruption are both detectable.
 func (e *Encoder) finish() error {
 	payload := len(e.buf) - frameHeaderSize
 	if payload > MaxFrameSize {
 		return protoErrf("frame payload %d exceeds limit %d", payload, MaxFrameSize)
 	}
-	binary.LittleEndian.PutUint32(e.buf[1:frameHeaderSize], uint32(payload))
+	binary.LittleEndian.PutUint32(e.buf[1:5], uint32(payload))
+	crc := crc32.Update(0, crc32.IEEETable, e.buf[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, e.buf[frameHeaderSize:])
+	binary.LittleEndian.PutUint32(e.buf[5:frameHeaderSize], crc)
 	_, err := e.w.Write(e.buf)
 	return err
 }
@@ -263,7 +277,8 @@ func (d *Decoder) Read() (Frame, error) {
 		return nil, err
 	}
 	t := FrameType(hdr[0])
-	n := binary.LittleEndian.Uint32(hdr[1:])
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	wantCRC := binary.LittleEndian.Uint32(hdr[5:])
 	if n > MaxFrameSize {
 		return nil, protoErrf("frame length %d exceeds limit %d", n, MaxFrameSize)
 	}
@@ -276,6 +291,11 @@ func (d *Decoder) Read() (Frame, error) {
 			err = io.ErrUnexpectedEOF
 		}
 		return nil, err
+	}
+	crc := crc32.Update(0, crc32.IEEETable, hdr[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, d.buf)
+	if crc != wantCRC {
+		return nil, protoErrf("%s frame checksum mismatch (got %08x, want %08x)", t, crc, wantCRC)
 	}
 	switch t {
 	case FrameHello:

@@ -2,7 +2,9 @@ package feed
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"math"
 	"testing"
@@ -139,6 +141,20 @@ func TestEncoderRejectsBadBatches(t *testing.T) {
 	}
 }
 
+// rawFrame hand-builds a wire frame with a correct length prefix and
+// CRC, so corruption tests can reach the structural checks that run
+// after checksum verification.
+func rawFrame(t FrameType, payload []byte) []byte {
+	out := make([]byte, 0, frameHeaderSize+len(payload))
+	out = append(out, byte(t), 0, 0, 0, 0, 0, 0, 0, 0)
+	out = append(out, payload...)
+	binary.LittleEndian.PutUint32(out[1:5], uint32(len(payload)))
+	crc := crc32.Update(0, crc32.IEEETable, out[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, out[frameHeaderSize:])
+	binary.LittleEndian.PutUint32(out[5:frameHeaderSize], crc)
+	return out
+}
+
 func TestDecoderRejectsCorruptStreams(t *testing.T) {
 	u := testUniverse(t)
 	goodHello := func() []byte {
@@ -158,25 +174,32 @@ func TestDecoderRejectsCorruptStreams(t *testing.T) {
 		stream  []byte
 		wantEOF bool // torn-frame cases surface as ErrUnexpectedEOF
 	}{
-		{"unknown-type", []byte{0xEE, 0, 0, 0, 0}, false},
-		{"oversized-length", []byte{byte(FrameBatch), 0xFF, 0xFF, 0xFF, 0xFF}, false},
+		{"unknown-type", rawFrame(FrameType(0xEE), nil), false},
+		{"oversized-length", []byte{byte(FrameBatch), 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}, false},
 		{"torn-header", []byte{byte(FrameBatch), 1, 0}, true},
-		{"torn-payload", append([]byte{byte(FrameHeartbeat), 8, 0, 0, 0}, 1, 2, 3), true},
+		{"torn-payload", append([]byte{byte(FrameHeartbeat), 8, 0, 0, 0, 0, 0, 0, 0}, 1, 2, 3), true},
 		{"batch-before-hello", goodBatch(), false},
-		{"heartbeat-short-payload", []byte{byte(FrameHeartbeat), 2, 0, 0, 0, 1, 2}, false},
-		{"hello-truncated-symbols", []byte{byte(FrameHello), 7, 0, 0, 0, 1, 0, 5, 0, 0, 0, 9}, false},
-		{"batch-bad-count", append(goodHello(), byte(FrameBatch), 16, 0, 0, 0,
-			1, 0, 0, 0, 0, 0, 0, 0 /* seq */, 0, 0, 0, 0 /* day */, 200, 0, 0, 0 /* count=200, no data */), false},
+		{"bad-checksum", func() []byte {
+			f := rawFrame(FrameHeartbeat, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+			f[len(f)-1] ^= 0x40 // corrupt payload after the CRC was sealed
+			return f
+		}(), false},
+		{"heartbeat-short-payload", rawFrame(FrameHeartbeat, []byte{1, 2}), false},
+		{"hello-truncated-symbols", rawFrame(FrameHello, []byte{1, 0, 5, 0, 0, 0, 9}), false},
+		{"batch-bad-count", append(goodHello(), rawFrame(FrameBatch, []byte{
+			1, 0, 0, 0, 0, 0, 0, 0, // seq
+			0, 0, 0, 0, // day
+			200, 0, 0, 0, // count=200, no data
+		})...), false},
 		{"batch-symbol-out-of-range", append(goodHello(), func() []byte {
 			// Hand-build a 1-quote batch with symbol index 9999.
-			p := make([]byte, 0, frameHeaderSize+batchHeaderSize+quoteWireSize)
-			p = append(p, byte(FrameBatch), byte(batchHeaderSize+quoteWireSize), 0, 0, 0)
+			p := make([]byte, 0, batchHeaderSize+quoteWireSize)
 			p = append(p, 1, 0, 0, 0, 0, 0, 0, 0) // seq
 			p = append(p, 0, 0, 0, 0)             // day
 			p = append(p, 1, 0, 0, 0)             // count
 			p = append(p, 0x0F, 0x27)             // idx 9999
 			p = append(p, make([]byte, quoteWireSize-2)...)
-			return p
+			return rawFrame(FrameBatch, p)
 		}()...), false},
 	}
 	for _, tc := range cases {
@@ -196,6 +219,57 @@ func TestDecoderRejectsCorruptStreams(t *testing.T) {
 				t.Fatalf("err = %v, want ErrProtocol", err)
 			}
 		})
+	}
+}
+
+func TestCodecDetectsEveryBitFlip(t *testing.T) {
+	// Flip one bit at every byte position of an encoded hello+batch
+	// stream; the decoder must report an error for every flip — never
+	// silently deliver different quotes. This is the property the chaos
+	// harness's byte-corruption mode leans on for its zero-loss e2e:
+	// corruption always surfaces as a dropped connection, and the
+	// collector refetches from its last good sequence number.
+	u := testUniverse(t)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, u)
+	if err := enc.WriteHello(&Hello{Version: ProtocolVersion, Symbols: u.Symbols()}); err != nil {
+		t.Fatal(err)
+	}
+	quotes := testQuotes(u, 8, 1)
+	if err := enc.WriteBatch(&Batch{Seq: 1, Day: 1, Quotes: quotes}); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteEnd(&End{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	decodeAll := func(stream []byte) ([]Frame, error) {
+		dec := NewDecoder(bytes.NewReader(stream))
+		var out []Frame
+		for {
+			f, err := dec.Read()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return out, err
+			}
+			out = append(out, f)
+		}
+	}
+	if frames, err := decodeAll(clean); err != nil || len(frames) != 3 {
+		t.Fatalf("clean stream: %d frames, err=%v", len(frames), err)
+	}
+
+	for pos := 0; pos < len(clean); pos++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := bytes.Clone(clean)
+			mut[pos] ^= bit
+			if _, err := decodeAll(mut); err == nil {
+				t.Fatalf("bit flip at byte %d (mask %#02x) decoded silently", pos, bit)
+			}
+		}
 	}
 }
 

@@ -38,6 +38,17 @@ type CollectorConfig struct {
 	// JitterSeed seeds the backoff jitter rng (0 = deterministic
 	// default seed; tests rely on reproducible schedules).
 	JitterSeed int64
+	// Jitter, when non-nil, replaces the JitterSeed-derived rng.
+	// Collectors never share rng state (each owns a private instance,
+	// guarded by the collector mutex), so reconnect schedules stay
+	// deterministic and race-free; inject a seeded rng here to pin a
+	// test's exact backoff sequence.
+	Jitter *rand.Rand
+	// Sleep, when non-nil, replaces the real backoff wait. It must
+	// return false iff ctx was cancelled before the delay elapsed.
+	// Tests inject a recording fake so reconnect schedules can be
+	// asserted without wall-clock time.
+	Sleep func(ctx context.Context, d time.Duration) bool
 	// HeartbeatTimeout is the read deadline per frame: a connection
 	// silent for longer (no batches, no heartbeats) is presumed dead
 	// and redialed (default 15s). Must exceed the server's Heartbeat
@@ -70,6 +81,21 @@ func (c CollectorConfig) withDefaults() CollectorConfig {
 	}
 	if c.HeartbeatTimeout <= 0 {
 		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.Jitter == nil {
+		c.Jitter = rand.New(rand.NewSource(c.JitterSeed))
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
 	}
 	return c
 }
@@ -131,7 +157,7 @@ func NewCollector(cfg CollectorConfig) *Collector {
 	return &Collector{
 		cfg:      cfg,
 		quotes:   make(chan taq.Quote, cfg.Buffer),
-		rng:      rand.New(rand.NewSource(cfg.JitterSeed)),
+		rng:      cfg.Jitter,
 		uniReady: make(chan struct{}),
 	}
 }
@@ -230,14 +256,7 @@ func (c *Collector) sleep(ctx context.Context, attempt int) bool {
 	d = d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
 	c.st.Backoffs = append(c.st.Backoffs, d)
 	c.mu.Unlock()
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-ctx.Done():
-		return false
-	}
+	return c.cfg.Sleep(ctx, d)
 }
 
 // session runs one connection: subscribe at the resume point, validate

@@ -3,12 +3,17 @@ package feed
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"net"
+	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"marketminer/internal/metrics"
 	"marketminer/internal/taq"
 )
 
@@ -167,6 +172,115 @@ func TestServerEvictsSlowConsumer(t *testing.T) {
 	}
 	if st := s.Stats(); st.Evicted < 1 {
 		t.Errorf("evicted = %d, want ≥ 1", st.Evicted)
+	}
+}
+
+// TestServerEvictionIncrementsCounterAndLogs pins the observability
+// contract of slow-consumer eviction: the process-wide metrics counter
+// moves and the log line names the client address and its queue depth.
+func TestServerEvictionIncrementsCounterAndLogs(t *testing.T) {
+	u := testUniverse(t)
+	var logMu sync.Mutex
+	var lines []string
+	s, addr := startServer(t, ServerConfig{
+		Universe: u, BatchSize: 1, QueueLen: 4, WriteTimeout: 200 * time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+
+	before := metrics.Counter("feed.evictions").Value()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := NewEncoder(conn, nil).WriteSubscribe(&Subscribe{From: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	q := testQuotes(u, 1, 0)[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Evicted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no eviction after %d batches", s.Stats().Batches)
+		}
+		for i := 0; i < 500; i++ {
+			s.Publish(q)
+		}
+	}
+	if delta := metrics.Counter("feed.evictions").Value() - before; delta < 1 {
+		t.Errorf("feed.evictions delta = %d, want ≥ 1", delta)
+	}
+	localAddr := conn.LocalAddr().String()
+	logMu.Lock()
+	defer logMu.Unlock()
+	for _, line := range lines {
+		if strings.Contains(line, "evicted slow consumer") {
+			if !strings.Contains(line, localAddr) {
+				t.Errorf("eviction log lacks client address %s: %q", localAddr, line)
+			}
+			if !strings.Contains(line, "queue depth") {
+				t.Errorf("eviction log lacks queue depth: %q", line)
+			}
+			return
+		}
+	}
+	t.Fatalf("no eviction log line in %q", lines)
+}
+
+// TestCollectorBackoffDeterministicInjectedClock covers the injectable
+// RNG and clock: with a seeded Jitter rng and a fake Sleep, the
+// reconnect schedule is exactly reproducible (no wall-clock time, no
+// shared rand state) — the property the -race feed focus leans on.
+func TestCollectorBackoffDeterministicInjectedClock(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		c := NewCollector(CollectorConfig{
+			Dial:           func(ctx context.Context) (net.Conn, error) { return nil, errors.New("down") },
+			InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff:     80 * time.Millisecond,
+			BackoffFactor:  2,
+			Jitter:         rand.New(rand.NewSource(99)),
+			Sleep: func(ctx context.Context, d time.Duration) bool {
+				slept = append(slept, d)
+				return true
+			},
+			MaxAttempts: 7,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := runCollector(ctx, c)(); err == nil {
+			t.Fatal("want error after MaxAttempts")
+		}
+		return slept
+	}
+
+	got := run()
+	if len(got) != 6 { // MaxAttempts=7 → sleeps after failures 1..6
+		t.Fatalf("recorded %d sleeps, want 6: %v", len(got), got)
+	}
+
+	// Recompute the expected schedule from an identically-seeded rng.
+	rng := rand.New(rand.NewSource(99))
+	base := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, d := range got {
+		b := base[i] * time.Millisecond
+		want := b/2 + time.Duration(rng.Int63n(int64(b/2)+1))
+		if d != want {
+			t.Errorf("sleep %d = %v, want %v", i, d, want)
+		}
+		if d < b/2 || d > b {
+			t.Errorf("sleep %d = %v outside jitter window [%v, %v]", i, d, b/2, b)
+		}
+	}
+
+	// Same seed → byte-identical schedule on a second run.
+	again := run()
+	if !reflect.DeepEqual(got, again) {
+		t.Errorf("schedule not reproducible:\n  first  %v\n  second %v", got, again)
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"marketminer/internal/metrics"
 	"marketminer/internal/taq"
 )
 
@@ -172,13 +174,15 @@ func (s *Server) sealLocked() {
 		s.log = append(s.log, b)
 	}
 	for c := range s.clients {
-		if len(s.log)-c.pos > s.cfg.QueueLen {
+		if depth := len(s.log) - c.pos; depth > s.cfg.QueueLen {
 			// Slow consumer: drop the connection. The client's resume
 			// protocol recovers everything from the retained log.
 			s.evicted++
+			metrics.Counter("feed.evictions").Inc()
 			delete(s.clients, c)
 			c.conn.Close()
-			s.cfg.Logf("feed: evicted slow consumer %s (%d batches behind)", c.conn.RemoteAddr(), len(s.log)-c.pos)
+			s.cfg.Logf("feed: evicted slow consumer %s (queue depth %d exceeds limit %d)",
+				c.conn.RemoteAddr(), depth, s.cfg.QueueLen)
 			continue
 		}
 		c.wake()
@@ -229,6 +233,15 @@ func (s *Server) Serve(l net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			// A panicking handler must not take down the whole feed
+			// server: isolate it to this client, count it, and move on.
+			defer func() {
+				if r := recover(); r != nil {
+					metrics.Counter("feed.client_panics").Inc()
+					s.cfg.Logf("feed: %s: handler panicked: %v\n%s", conn.RemoteAddr(), r, debug.Stack())
+					conn.Close()
+				}
+			}()
 			s.handle(conn)
 		}()
 	}

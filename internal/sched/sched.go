@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -92,7 +93,7 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 					return
 				default:
 				}
-				if err := fn(ctx, i); err != nil {
+				if err := safeJob(ctx, i, fn); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					cancel()
 					return
@@ -106,4 +107,16 @@ func (p *Pool) Map(ctx context.Context, n int, fn func(ctx context.Context, i in
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// safeJob runs one job, converting a panic into an error so a single
+// bad unit cancels the batch cleanly (workers joined, Map returns an
+// error) instead of crashing the whole process mid-sweep.
+func safeJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
 }

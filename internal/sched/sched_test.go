@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -127,5 +128,23 @@ func TestMapEdgeCases(t *testing.T) {
 	}
 	if err := p.Map(context.Background(), 5, nil); err == nil {
 		t.Error("nil fn should error")
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	p := New(4)
+	var ran atomic.Int64
+	err := p.Map(context.Background(), 64, func(ctx context.Context, i int) error {
+		if i == 17 {
+			panic("bad unit")
+		}
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panicking job should surface as a Map error")
+	}
+	if !strings.Contains(err.Error(), "job 17 panicked") || !strings.Contains(err.Error(), "bad unit") {
+		t.Errorf("error does not identify the panicking job: %v", err)
 	}
 }

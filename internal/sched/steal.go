@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -92,10 +94,23 @@ func Steal(workers, n int, fn func(worker, task int)) int {
 
 	var steals atomic.Int64
 	var wg sync.WaitGroup
+	// A panic inside fn on a worker goroutine would crash the process
+	// before wg.Wait could return; capture the first one and re-throw
+	// it on the caller's goroutine after every worker has retired, so
+	// Steal panics exactly like the single-worker inline path does.
+	var panicOnce sync.Once
+	var panicked any
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicked = fmt.Sprintf("sched: steal task panicked: %v\n%s", r, debug.Stack())
+					})
+				}
+			}()
 			for {
 				if t, ok := deques[w].popFront(); ok {
 					fn(w, t)
@@ -122,5 +137,8 @@ func Steal(workers, n int, fn func(worker, task int)) int {
 		}(w)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 	return int(steals.Load())
 }

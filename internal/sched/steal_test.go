@@ -81,3 +81,26 @@ func TestStealNilFnAndEdgeCases(t *testing.T) {
 		t.Errorf("workers<0 ran %d tasks, want 5", runs)
 	}
 }
+
+func TestStealPanicPropagatesToCaller(t *testing.T) {
+	// A panic on a worker goroutine must reach the Steal caller (after
+	// every worker retires) instead of crashing the process from an
+	// unjoined goroutine.
+	for _, workers := range []int{1, 4} {
+		var done atomic.Int64
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+			}()
+			Steal(workers, 32, func(worker, task int) {
+				if task == 7 {
+					panic("tile blew up")
+				}
+				done.Add(1)
+			})
+			t.Fatalf("workers=%d: Steal returned normally", workers)
+		}()
+	}
+}

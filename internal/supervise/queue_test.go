@@ -1,0 +1,124 @@
+package supervise
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestQueueBlockModeLosslessWithBackpressure(t *testing.T) {
+	q := NewQueue[int](2, Block)
+	ctx := context.Background()
+	done := make(chan []int)
+	go func() {
+		var got []int
+		for {
+			v, ok := q.Pop(ctx)
+			if !ok {
+				done <- got
+				return
+			}
+			got = append(got, v)
+			time.Sleep(time.Millisecond) // slow consumer forces blocking
+		}
+	}()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !q.Push(ctx, i) {
+			t.Fatalf("push %d returned false without cancellation", i)
+		}
+	}
+	q.Close()
+	got := <-done
+	if len(got) != n {
+		t.Fatalf("delivered %d, want %d (Block mode must be lossless)", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, FIFO order broken", i, v)
+		}
+	}
+	st := q.Stats()
+	if st.Pushed != n || st.Popped != n || st.Dropped != 0 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.Blocked == 0 {
+		t.Errorf("no backpressure recorded against a slow consumer: %+v", st)
+	}
+	if st.HighWater < 1 || st.HighWater > 2 {
+		t.Errorf("high water %d outside capacity bounds", st.HighWater)
+	}
+}
+
+func TestQueueBlockModePushCancels(t *testing.T) {
+	q := NewQueue[int](1, Block)
+	ctx, cancel := context.WithCancel(context.Background())
+	q.Push(ctx, 1) // fills the queue; no consumer
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if q.Push(ctx, 2) {
+		t.Fatal("push on a full queue with cancelled context returned true")
+	}
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	q := NewQueue[int](2, DropNewest)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if !q.Push(ctx, i) {
+			t.Fatal("drop-mode push returned false")
+		}
+	}
+	q.Close()
+	var got []int
+	for {
+		v, ok := q.Pop(ctx)
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("kept %v, want the oldest [0 1]", got)
+	}
+	if st := q.Stats(); st.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue[int](2, DropOldest)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		q.Push(ctx, i)
+	}
+	q.Close()
+	var got []int
+	for {
+		v, ok := q.Pop(ctx)
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("kept %v, want the newest [3 4]", got)
+	}
+	if st := q.Stats(); st.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestQueuePopCancel(t *testing.T) {
+	q := NewQueue[int](1, Block)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, ok := q.Pop(ctx); ok {
+		t.Fatal("pop on empty queue with cancelled context returned ok")
+	}
+}

@@ -1,0 +1,241 @@
+// Package supervise is the fault-tolerance runtime around the stream
+// engine: restart policies with jittered exponential backoff and a
+// max-restart circuit breaker, per-message panic isolation for DAG
+// stages with poison-message quarantine, bounded queues with explicit
+// backpressure and drop accounting, deadline-bounded graceful drain,
+// and CRC-guarded atomic-rename snapshots for warm state.
+//
+// The paper's MarketMiner is a long-running platform fed by live TAQ
+// data; its MPI ranks were supervised by the cluster scheduler. In the
+// Go rewrite the process itself must play scheduler: a panicking stage
+// or a poisoned quote must cost one message or one restart, never the
+// day's correlation state. Everything here is deterministic under an
+// injected clock and rng, so the restart machinery itself is testable
+// to the same bit-for-bit standard as the kernels (see DESIGN.md
+// §Robustness).
+package supervise
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"marketminer/internal/metrics"
+)
+
+// Policy configures restart and retry behaviour for one supervised
+// task or stage. The zero value of every field takes the documented
+// default, so Policy{} is a usable production policy.
+type Policy struct {
+	// InitialBackoff is the delay before the first restart (default
+	// 10ms); consecutive failures grow it by BackoffFactor (default 2)
+	// up to MaxBackoff (default 2s). Each applied delay is jittered
+	// uniformly in [d/2, d], the same decorrelation scheme as the feed
+	// collector's reconnect loop.
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	BackoffFactor  float64
+	// MaxFailures is the circuit breaker: this many consecutive
+	// failures (restarts without progress, or poisoned messages
+	// without a clean one in between) abort with a CircuitError
+	// instead of retrying forever (default 8).
+	MaxFailures int
+	// Retries is the number of times a Stage re-runs a message whose
+	// processing panicked before quarantining it (default 2). Retried
+	// work must be idempotent or harmless to repeat; stages that are
+	// not should set Retries < 0, which disables retrying (a first
+	// panic quarantines immediately).
+	Retries int
+	// Jitter, when non-nil, replaces the backoff jitter rng. The
+	// default is a private deterministically-seeded rng per backoff
+	// instance; inject a seeded one to pin a test's exact schedule.
+	Jitter *rand.Rand
+	// Sleep, when non-nil, replaces the real backoff wait; it must
+	// return false iff ctx was cancelled before the delay elapsed.
+	Sleep func(ctx context.Context, d time.Duration) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.BackoffFactor < 1 {
+		p.BackoffFactor = 2
+	}
+	if p.MaxFailures <= 0 {
+		p.MaxFailures = 8
+	}
+	if p.Retries == 0 {
+		p.Retries = 2
+	} else if p.Retries < 0 {
+		p.Retries = 0
+	}
+	if p.Sleep == nil {
+		p.Sleep = func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+	}
+	return p
+}
+
+// backoff computes jittered exponential delays. Safe for concurrent
+// use (stage workers may back off in parallel).
+type backoff struct {
+	pol Policy
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newBackoff(p Policy) *backoff {
+	rng := p.Jitter
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &backoff{pol: p, rng: rng}
+}
+
+// delay returns the jittered backoff for the given consecutive-failure
+// count (1-based).
+func (b *backoff) delay(failure int) time.Duration {
+	d := b.pol.InitialBackoff
+	for i := 1; i < failure; i++ {
+		d = time.Duration(float64(d) * b.pol.BackoffFactor)
+		if d >= b.pol.MaxBackoff {
+			d = b.pol.MaxBackoff
+			break
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+}
+
+// CircuitError reports an opened circuit breaker: the supervised unit
+// failed MaxFailures consecutive times without progress.
+type CircuitError struct {
+	Name     string
+	Failures int
+	Last     error
+}
+
+func (e *CircuitError) Error() string {
+	return fmt.Sprintf("supervise: %s circuit open after %d consecutive failures: %v", e.Name, e.Failures, e.Last)
+}
+
+func (e *CircuitError) Unwrap() error { return e.Last }
+
+// PanicError reports a panic recovered by the supervision layer.
+type PanicError struct {
+	Name  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("supervise: %s panicked: %v\n%s", e.Name, e.Value, e.Stack)
+}
+
+// runRecovered invokes fn, converting a panic into a *PanicError.
+func runRecovered(name string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Name: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// TaskReport summarises one supervised task run.
+type TaskReport struct {
+	Restarts int   // times the task was restarted after a failure
+	Panics   int   // failures that were panics (vs returned errors)
+	LastErr  error // most recent failure (nil after a clean finish)
+}
+
+// Run executes task under restart supervision until it returns nil
+// (clean finish), the context is cancelled, or the circuit opens.
+//
+// task receives a progress callback; calling it marks the current
+// incarnation as having made progress, which resets the consecutive-
+// failure count — so a task that crashes at a *different* point each
+// time keeps being restarted (it is getting somewhere, e.g. resuming
+// further from each snapshot), while one that dies instantly every
+// time trips the breaker after Policy.MaxFailures attempts. Both
+// panics and returned errors count as failures; backoff applies
+// between restarts.
+func Run(ctx context.Context, name string, p Policy, task func(ctx context.Context, progress func()) error) (TaskReport, error) {
+	p = p.withDefaults()
+	bo := newBackoff(p)
+	var rep TaskReport
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		progressed := false
+		err := runRecovered(name, func() error { return task(ctx, func() { progressed = true }) })
+		if err == nil {
+			rep.LastErr = nil
+			return rep, nil
+		}
+		if ctx.Err() != nil {
+			return rep, ctx.Err()
+		}
+		if _, ok := err.(*PanicError); ok {
+			rep.Panics++
+		}
+		rep.LastErr = err
+		if progressed {
+			failures = 0
+		}
+		failures++
+		if failures >= p.MaxFailures {
+			metrics.Counter("supervise.circuit_open").Inc()
+			return rep, &CircuitError{Name: name, Failures: failures, Last: err}
+		}
+		rep.Restarts++
+		metrics.Counter("supervise.restarts").Inc()
+		if !p.Sleep(ctx, bo.delay(failures)) {
+			return rep, ctx.Err()
+		}
+	}
+}
+
+// GracefulDrain coordinates a deadline-bounded stop: it waits for done
+// while ctx is live; once ctx is cancelled it allows the pipeline up
+// to timeout to finish in-flight work, then calls force (the hard
+// cancel) and waits for done unconditionally. It returns true when the
+// drain completed without forcing.
+//
+// The caller wires the soft side itself (stop the source when ctx
+// dies); GracefulDrain owns only the deadline and the escalation.
+func GracefulDrain(ctx context.Context, done <-chan struct{}, timeout time.Duration, force func()) bool {
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		force()
+		<-done
+		return false
+	}
+}

@@ -22,15 +22,18 @@
 // Maronna, Combined + parallel engine), engine (channel DAG runtime),
 // strategy (the §III state machine), portfolio (orders and P&L),
 // backtest (the three runners), metrics (Equations (1)–(9)), report
-// (the paper's tables), sched (SGE-like farm baseline) and feed (the
+// (the paper's tables), sched (SGE-like farm baseline), feed (the
 // networked quote-distribution layer: binary codec, replay server,
-// resilient collector client).
+// resilient collector client), supervise (the fault-tolerance runtime:
+// restart policies, quarantine, crash-safe snapshots) and chaos
+// (deterministic fault injection for the networked pipeline).
 package marketminer
 
 import (
 	"context"
 
 	"marketminer/internal/backtest"
+	"marketminer/internal/chaos"
 	"marketminer/internal/clean"
 	"marketminer/internal/core"
 	"marketminer/internal/corr"
@@ -38,6 +41,7 @@ import (
 	"marketminer/internal/market"
 	"marketminer/internal/report"
 	"marketminer/internal/strategy"
+	"marketminer/internal/supervise"
 	"marketminer/internal/taq"
 )
 
@@ -84,6 +88,22 @@ type (
 	// FeedCollector subscribes to a FeedServer with automatic
 	// reconnect, resume and gap detection.
 	FeedCollector = feed.Collector
+	// SuperviseOptions runs the pipeline under the fault-tolerance
+	// runtime (panic isolation, quarantine, crash-safe engine
+	// snapshots, graceful drain); set PipelineConfig.Supervise.
+	SuperviseOptions = core.SuperviseOptions
+	// SupervisionReport is the runtime's accounting for one run.
+	SupervisionReport = core.SupervisionReport
+	// SupervisePolicy tunes restart backoff and circuit breaking.
+	SupervisePolicy = supervise.Policy
+	// ChaosSpec is a deterministic fault-injection schedule; parse one
+	// with ParseChaosSpec.
+	ChaosSpec = chaos.Spec
+	// Chaos injects a ChaosSpec into connections, listeners, dialers
+	// and quote sources.
+	Chaos = chaos.Chaos
+	// ChaosStats counts the faults a Chaos actually injected.
+	ChaosStats = chaos.Stats
 )
 
 // Correlation treatments (the paper's Ctype).
@@ -161,6 +181,14 @@ func NewFeedServer(cfg FeedServerConfig) (*FeedServer, error) { return feed.NewS
 // NewFeedCollector builds a resilient feed client; run it with
 // Run(ctx) and consume Quotes().
 func NewFeedCollector(cfg FeedCollectorConfig) *FeedCollector { return feed.NewCollector(cfg) }
+
+// ParseChaosSpec parses a deterministic fault-injection schedule, e.g.
+// "seed=7,corrupt=8192,cut=65536,partition=5".
+func ParseChaosSpec(text string) (ChaosSpec, error) { return chaos.ParseSpec(text) }
+
+// NewChaos builds a fault injector from a spec; wrap listeners,
+// dialers or quote sources with it.
+func NewChaos(spec ChaosSpec) *Chaos { return chaos.New(spec) }
 
 // FormatTableIII renders the Table III statistics of a finished sweep.
 func FormatTableIII(r *BacktestResult) string {

@@ -26,6 +26,9 @@ go test -race ./internal/sweep ./internal/sched
 echo "== go test -race ./internal/corr ./internal/sched (matrix engine focus)"
 go test -race ./internal/corr ./internal/sched
 
+echo "== go test -race ./internal/feed ./internal/supervise ./internal/chaos (robustness focus)"
+go test -race ./internal/feed ./internal/supervise ./internal/chaos
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -33,6 +36,7 @@ echo "== bench smoke: go test -run '^\$' -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x ./...
 
 sh scripts/sweep_smoke.sh
+sh scripts/chaos_smoke.sh
 
 echo "== bench gate: fresh kernel ratios vs committed BENCH_corr.json"
 bench_tmp=$(mktemp /tmp/mm_bench_gate.XXXXXX.json)
