@@ -1,0 +1,31 @@
+package broker
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRunBenchSmall smoke-tests the bench harness at a toy scale so
+// verify's bench gate stays fast.
+func TestRunBenchSmall(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := RunBench(ctx, BenchConfig{
+		N: 8, M: 4, Partitions: 4, W: 3, D: 0.05,
+		Intervals: 20, Subscribers: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Signals == 0 || res.Deliveries == 0 {
+		t.Fatalf("empty bench: %+v", res)
+	}
+	// 16 followers over 4 partitions: each signal fans out 4×.
+	if want := int64(res.Signals) * 4; res.Deliveries != want {
+		t.Fatalf("deliveries %d, want %d", res.Deliveries, want)
+	}
+	if res.SignalsPerSec <= 0 || res.DeliverP99us < res.DeliverP50us {
+		t.Fatalf("implausible stats: %+v", res)
+	}
+}

@@ -1,0 +1,259 @@
+package broker
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"marketminer/internal/chaos"
+	"marketminer/internal/feed"
+	"marketminer/internal/metrics"
+)
+
+// e2eResult is one member's complete observed state after End.
+type e2eResult struct {
+	sub *Subscriber
+	err error
+}
+
+// runGroupE2E drives the full acceptance scenario: a 3-member consumer
+// group over 4 partitions on a real TCP listener, partition 1's
+// processor hard-killed mid-day, optionally with chaos corrupt/cut on
+// every subscriber connection. It returns the members keyed by id.
+func runGroupE2E(t *testing.T, spec chaos.Spec, rets [][]float64) map[string]*Subscriber {
+	t.Helper()
+	cfg := testConfig()
+	cfg.MemberGrace = 30 * time.Second // reconnects must never reshuffle
+	cfg.MaxDelta = 7
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	addr, err := b.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr.String())
+	}
+	if spec.Active() {
+		dial = chaos.New(spec).Dialer(dial)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	members := []string{"m-0", "m-1", "m-2"}
+	subs := make(map[string]*Subscriber, len(members))
+	done := make(chan e2eResult, len(members))
+	for _, id := range members {
+		sub, err := NewSubscriber(SubscriberConfig{
+			Group:     "g",
+			Member:    id,
+			FromStart: true,
+			AckEvery:  5,
+			Dial:      dial,
+			Logf:      t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs[id] = sub
+		go func() { done <- e2eResult{sub, sub.Run(ctx)} }()
+	}
+
+	// All members must be in the group before signals flow, so the
+	// assignment (and therefore each member's stream) is deterministic.
+	waitFor(t, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		g := b.groups["g"]
+		return g != nil && len(g.members) == len(members)
+	})
+
+	for s := 0; s < len(rets)/2; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return b.parts[1].log.end() > 0 })
+	rebalBefore := metrics.Counter("broker.rebalances").Value()
+	b.KillPartition(1)
+	waitFor(t, func() bool { return metrics.Counter("broker.rebalances").Value() > rebalBefore })
+	for s := len(rets) / 2; s < len(rets); s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FinishInput()
+
+	for range members {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				t.Fatalf("subscriber failed: %v", r.err)
+			}
+		case <-ctx.Done():
+			t.Fatal("subscribers did not finish in time")
+		}
+	}
+	return subs
+}
+
+// TestE2EGroupKillRebalance is the acceptance scenario without wire
+// faults: after a mid-day processor kill and rebalance, every member's
+// delivered stream must be byte-identical to the unfaulted run.
+func TestE2EGroupKillRebalance(t *testing.T) {
+	rets := testReturns(8, 40)
+	want := referenceLogs(t, testConfig(), rets)
+	subs := runGroupE2E(t, chaos.Spec{}, rets)
+	assertStreams(t, subs, want)
+}
+
+// TestE2EGroupKillRebalanceChaos repeats the scenario with bit flips
+// and mid-stream cuts injected on every subscriber connection: frames
+// that survive CRC are delivered; everything else forces resubscribe,
+// and the committed streams must still match bit for bit.
+func TestE2EGroupKillRebalanceChaos(t *testing.T) {
+	rets := testReturns(8, 40)
+	want := referenceLogs(t, testConfig(), rets)
+	subs := runGroupE2E(t, chaos.Spec{Seed: 42, CorruptEvery: 64 << 10, CutEvery: 96 << 10}, rets)
+	assertStreams(t, subs, want)
+	cut := false
+	for _, sub := range subs {
+		if sub.Stats().Reconnects > 0 {
+			cut = true
+		}
+	}
+	if !cut {
+		t.Log("warning: chaos schedule injected no reconnects at this stream size")
+	}
+}
+
+// assertStreams checks the acceptance criterion: each member's
+// per-partition delivered stream equals the unfaulted partition log
+// exactly — same signals, same order, same offsets, same float bits —
+// and the three members cover the four partitions round-robin.
+func assertStreams(t *testing.T, subs map[string]*Subscriber, want [][]feed.Signal) {
+	t.Helper()
+	assignment := map[string][]int{"m-0": {0, 3}, "m-1": {1}, "m-2": {2}}
+	for id, parts := range assignment {
+		sub := subs[id]
+		for _, p := range parts {
+			sameSignals(t, id, sub.Signals(p), want[p])
+		}
+		got := sub.Partitions()
+		if len(got) != len(parts) {
+			t.Fatalf("%s received partitions %v, want %v", id, got, parts)
+		}
+		st := sub.Stats()
+		if st.Delivered == 0 || st.Acked == 0 {
+			t.Fatalf("%s: stats %+v look dead", id, st)
+		}
+	}
+}
+
+// TestSnapshotOnSubscribe: a member joining after the day is done gets
+// the compacted latest-signal-per-pair snapshot plus End, not the full
+// log.
+func TestSnapshotOnSubscribe(t *testing.T) {
+	cfg := testConfig()
+	rets := testReturns(8, 40)
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	feedAll(t, b, rets)
+	full := drainLogs(t, b)
+	addr, err := b.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBefore := metrics.Counter("broker.snapshot_sends").Value()
+	sub, err := NewSubscriber(SubscriberConfig{
+		Group: "late", Member: "viewer",
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr.String())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sub.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := sub.Stats()
+	if st.Snapshots != b.NumPartitions() {
+		t.Fatalf("snapshots %d, want %d", st.Snapshots, b.NumPartitions())
+	}
+	if got := metrics.Counter("broker.snapshot_sends").Value(); got-snapBefore != int64(b.NumPartitions()) {
+		t.Fatalf("snapshot_sends delta %d, want %d", got-snapBefore, b.NumPartitions())
+	}
+	totalPairs := 0
+	for p := range full {
+		_, latest := b.parts[p].log.snapshotLatest()
+		sameSignals(t, "snapshot", sub.Signals(p), latest)
+		totalPairs += len(latest)
+	}
+	if st.Delivered != totalPairs {
+		t.Fatalf("delivered %d, want compacted %d (full log is %d)", st.Delivered, totalPairs, totalLen(full))
+	}
+}
+
+func totalLen(logs [][]feed.Signal) int {
+	n := 0
+	for _, l := range logs {
+		n += len(l)
+	}
+	return n
+}
+
+// TestEvictionOfLaggingSubscriber: a subscriber whose cursor lags the
+// log end beyond EvictLag is cut loose instead of stalling the broker.
+func TestEvictionOfLaggingSubscriber(t *testing.T) {
+	cfg := testConfig()
+	cfg.EvictLag = 1
+	rets := testReturns(8, 40)
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	feedAll(t, b, rets)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := b.WaitDone(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := b.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evBefore := metrics.Counter("broker.evictions").Value()
+	sub, err := NewSubscriber(SubscriberConfig{
+		Group: "slow", Member: "laggard", FromStart: true, MaxAttempts: 2,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr.String())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Run(ctx); err == nil {
+		t.Fatal("lagging FromStart subscriber was not evicted")
+	}
+	if got := metrics.Counter("broker.evictions").Value(); got <= evBefore {
+		t.Fatal("eviction counter did not move")
+	}
+}

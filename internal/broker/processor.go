@@ -1,0 +1,231 @@
+package broker
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"marketminer/internal/corr"
+	"marketminer/internal/feed"
+	"marketminer/internal/metrics"
+)
+
+func marshalState(v any) ([]byte, error)   { return json.Marshal(v) }
+func unmarshalState(b []byte, v any) error { return json.Unmarshal(b, v) }
+
+// procState is a partition processor's complete resumable state: the
+// input cursor, the log end offset the cursor corresponds to, and the
+// engine warm state. Cursor and EndOffset are captured in the same
+// critical section as the engine snapshot, so a restore replays input
+// from exactly where the log ends.
+type procState struct {
+	Cursor    int                  `json:"cursor"`
+	EndOffset uint64               `json:"end_offset"`
+	Engine    *corr.EngineSnapshot `json:"engine"`
+}
+
+// pairRings holds the per-pair trailing-W correlation windows a
+// processor derives C̄ and divergence crossings from. Every value in a
+// ring is also in the partition log, which is what makes rings
+// rebuildable from the log after a crash.
+type pairRings struct {
+	pairs []int
+	w     int
+	rings [][]float64 // chronological, ≤ w values each
+}
+
+func newPairRings(pairs []int, w int) *pairRings {
+	return &pairRings{pairs: pairs, w: w, rings: make([][]float64, len(pairs))}
+}
+
+// avg is the C̄ summation. It always folds in chronological order over
+// the ring snapshot, so the value is path-independent: a processor
+// that lived through the stream and one that rebuilt its ring from the
+// log compute bit-identical C̄ — the keystone of the no-loss/no-dup
+// delivery proof.
+func avg(ring []float64) float64 {
+	var sum float64
+	for _, v := range ring {
+		sum += v
+	}
+	return sum / float64(len(ring))
+}
+
+// step ingests one matrix interval and produces this partition's
+// signal batch: one signal per owned pair, with the divergence
+// crossing kind derived statelessly from the ring (previous divergence
+// is recomputed from the pre-push ring, not carried as mutable state,
+// so a rebuilt processor emits identical kinds).
+func (r *pairRings) step(s int, m *corr.Matrix, d float64) []feed.Signal {
+	out := make([]feed.Signal, 0, len(r.pairs))
+	for idx, k := range r.pairs {
+		c := m.AtPair(k)
+		ring := r.rings[idx]
+		prevDiverged := false
+		if len(ring) > 0 {
+			prevC := ring[len(ring)-1]
+			prevDiverged = prevC < avg(ring)*(1-d)
+		}
+		if len(ring) == r.w {
+			copy(ring, ring[1:])
+			ring = ring[:r.w-1]
+		}
+		ring = append(ring, c)
+		r.rings[idx] = ring
+		cbar := avg(ring)
+		diverged := c < cbar*(1-d)
+		kind := KindUpdate
+		switch {
+		case diverged && !prevDiverged:
+			kind = KindDiverge
+		case !diverged && prevDiverged:
+			kind = KindRevert
+		}
+		out = append(out, feed.Signal{
+			Pair: uint32(k), S: uint32(s), Kind: kind, C: c, Cbar: cbar,
+		})
+	}
+	return out
+}
+
+// rebuild reconstructs the rings from the partition log as of
+// endOffset: for each pair, its last ≤ W logged C values in
+// chronological order — exactly the ring a processor that never died
+// would hold after appending offset endOffset.
+func (r *pairRings) rebuild(log *partitionLog, endOffset uint64) {
+	sigs, _ := log.read(1, int(endOffset))
+	if uint64(len(sigs)) > endOffset {
+		sigs = sigs[:endOffset]
+	}
+	byPair := make(map[uint32][]float64, len(r.pairs))
+	for i := range sigs {
+		p := sigs[i].Pair
+		ring := append(byPair[p], sigs[i].C)
+		if len(ring) > r.w {
+			ring = ring[1:]
+		}
+		byPair[p] = ring
+	}
+	for idx, k := range r.pairs {
+		r.rings[idx] = append([]float64(nil), byPair[uint32(k)]...)
+	}
+}
+
+// stateFingerprint extends the engine fingerprint with the signal
+// parameters, so a snapshot from a differently-tuned broker never
+// restores.
+func (b *Broker) stateFingerprint(eng *corr.OnlineEngine) string {
+	return fmt.Sprintf("%s|w=%d|d=%g", eng.Fingerprint(), b.cfg.W, b.cfg.D)
+}
+
+// runProcessor is one incarnation of partition p's processor under
+// generation gen. It restores from the state store when possible,
+// replays the input log from its cursor, and publishes fenced signal
+// batches. A hard kill exits the goroutine without returning (the
+// supervisor never sees it — only the lease checker does); a
+// superseded generation returns nil and falls silent.
+func (b *Broker) runProcessor(ctx context.Context, p *partition, gen int, progress func()) error {
+	engCfg := corr.EngineConfig{
+		Type:    b.cfg.Type,
+		M:       b.cfg.M,
+		Workers: b.cfg.Workers,
+		Pairs:   p.pairs,
+	}
+	eng, err := corr.NewOnlineEngine(engCfg, b.cfg.N)
+	if err != nil {
+		return err
+	}
+	rings := newPairRings(p.pairs, b.cfg.W)
+	fp := b.stateFingerprint(eng)
+	cursor := 0
+	var st procState
+	if err := b.store.load(p.id, fp, &st); err == nil && st.Engine != nil {
+		if err := eng.Restore(st.Engine); err == nil {
+			cursor = st.Cursor
+			rings.rebuild(p.log, st.EndOffset)
+			metrics.Counter("broker.processor_restores").Inc()
+			b.cfg.Logf("broker: partition %d gen %d restored at cursor %d offset %d", p.id, gen, cursor, st.EndOffset)
+		} else {
+			b.cfg.Logf("broker: partition %d snapshot rejected (%v); cold start", p.id, err)
+		}
+	}
+
+	sinceSnap := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		switch b.leaseBeat(p, gen) {
+		case beatKilled:
+			runtime.Goexit() // SIGKILL analogue: no flush, no return
+		case beatSuperseded:
+			return nil
+		}
+		entry, ok := b.input.get(cursor)
+		if !ok {
+			if b.input.isSealed() {
+				b.finishPartition(p, gen)
+				return nil
+			}
+			if !b.waitWake(ctx, b.cfg.LeaseEvery) {
+				return ctx.Err()
+			}
+			continue
+		}
+		m, err := eng.Push(entry.rets)
+		if err != nil {
+			return err // supervised: restart replays from the snapshot
+		}
+		cursor++
+		if m != nil {
+			sigs := rings.step(entry.s, m, b.cfg.D)
+			// Replay deduplication: batches already in the log (we are
+			// re-deriving them after a crash) are regenerated to warm
+			// the rings but never re-appended.
+			if entry.s > p.log.lastLoggedS() {
+				if !b.publish(p, gen, entry.s, sigs) {
+					return nil // superseded mid-publish
+				}
+			}
+		}
+		progress()
+		sinceSnap++
+		if sinceSnap >= b.cfg.SnapshotEvery {
+			sinceSnap = 0
+			snap := procState{Cursor: cursor, EndOffset: p.log.end(), Engine: eng.Snapshot()}
+			if err := b.store.save(p.id, fp, snap); err != nil {
+				b.cfg.Logf("broker: partition %d snapshot save: %v", p.id, err)
+			}
+		}
+	}
+}
+
+// publish appends one interval's batch under generation fencing and
+// wakes subscribers. false means this processor has been superseded.
+func (b *Broker) publish(p *partition, gen int, s int, sigs []feed.Signal) bool {
+	p.mu.Lock()
+	if p.gen != gen || p.killed {
+		p.mu.Unlock()
+		return false
+	}
+	p.log.appendBatch(s, sigs)
+	p.mu.Unlock()
+	metrics.Counter("broker.signals_published").Add(int64(len(sigs)))
+	b.wake()
+	return true
+}
+
+// finishPartition seals partition p's log once the sealed input is
+// fully consumed, still under generation fencing.
+func (b *Broker) finishPartition(p *partition, gen int) {
+	p.mu.Lock()
+	if p.gen != gen || p.killed {
+		p.mu.Unlock()
+		return
+	}
+	p.done = true
+	p.mu.Unlock()
+	p.log.seal()
+	b.wake()
+}

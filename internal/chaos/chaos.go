@@ -94,11 +94,16 @@ func ParseSpec(text string) (Spec, error) {
 	if strings.TrimSpace(text) == "" {
 		return s, fmt.Errorf("chaos: empty spec")
 	}
+	seen := make(map[string]bool)
 	for _, kv := range strings.Split(text, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
 			return s, fmt.Errorf("chaos: %q is not key=value", kv)
 		}
+		if seen[key] {
+			return s, fmt.Errorf("chaos: duplicate key %q", key)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "seed":

@@ -52,6 +52,40 @@ func TestParseSpecRejectsBadInput(t *testing.T) {
 	}
 }
 
+// TestParseSpecUnknownAndDuplicateKeys pins the exact diagnostics for
+// malformed specs: an unknown key and a repeated key each name the
+// offending key instead of being silently ignored or last-wins merged.
+func TestParseSpecUnknownAndDuplicateKeys(t *testing.T) {
+	cases := []struct {
+		name, text, wantErr string
+	}{
+		{"unknown key", "seed=1,bogus=2", `chaos: unknown key "bogus"`},
+		{"unknown key alone", "frobnicate=1", `chaos: unknown key "frobnicate"`},
+		{"duplicate seed", "seed=1,seed=2", `chaos: duplicate key "seed"`},
+		{"duplicate corrupt", "corrupt=10,cut=20,corrupt=30", `chaos: duplicate key "corrupt"`},
+		{"duplicate rate", "drop=0.1,drop=0.1", `chaos: duplicate key "drop"`},
+		{"duplicate delay", "delay=10:1ms,delay=20:2ms", `chaos: duplicate key "delay"`},
+		{"ok single keys", "seed=1,corrupt=10,cut=20", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.text)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ParseSpec(%q) = %v, want nil", tc.text, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted, want %q", tc.text, tc.wantErr)
+			}
+			if err.Error() != tc.wantErr {
+				t.Fatalf("ParseSpec(%q) error %q, want %q", tc.text, err, tc.wantErr)
+			}
+		})
+	}
+}
+
 // byteConn is an in-memory net.Conn half: reads stream from a buffer,
 // writes accumulate into a buffer.
 type byteConn struct {

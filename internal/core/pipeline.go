@@ -53,6 +53,13 @@ type PipelineConfig struct {
 	// snapshots, bounded ingress accounting, and graceful drain. See
 	// SuperviseOptions.
 	Supervise *SuperviseOptions
+	// ReturnsTap, when non-nil, observes every cross-sectional
+	// log-return vector the technical-analysis stage emits, in grid
+	// order, before the correlation engine consumes it. The signature
+	// matches broker.Broker.OfferReturns, which is the intended sink:
+	// wiring a tap turns a pipeline run into a broker feed. The tap
+	// must not retain rets; a returned error fails the TA stage.
+	ReturnsTap func(s int, rets []float64) error
 }
 
 func (c PipelineConfig) validate() error {
@@ -261,7 +268,7 @@ func RunPipelineSource(ctx context.Context, cfg PipelineConfig, source QuoteSour
 	g.OnDrain(barNode, bars.drain)
 
 	// Technical analysis: per-interval log-return vectors.
-	ta := &taNode{pg: pg, n: n}
+	ta := &taNode{pg: pg, n: n, tap: cfg.ReturnsTap}
 	taNodeID := g.Node("technical-analysis", 1, ta.process)
 
 	// Parallel correlation engine.
@@ -461,6 +468,7 @@ type taNode struct {
 	n     int
 	prevS int
 	ready bool
+	tap   func(s int, rets []float64) error
 }
 
 func (t *taNode) process(ctx context.Context, m engine.Message, emit engine.Emit) error {
@@ -478,6 +486,11 @@ func (t *taNode) process(ctx context.Context, m engine.Message, emit engine.Emit
 	rets := make([]float64, t.n)
 	for i := 0; i < t.n; i++ {
 		rets[i] = math.Log(t.pg.Prices[i][s] / t.pg.Prices[i][s-1])
+	}
+	if t.tap != nil {
+		if err := t.tap(s, rets); err != nil {
+			return err
+		}
 	}
 	emit(retMsg{S: s, Rets: rets})
 	return nil

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"marketminer/internal/broker"
+	"marketminer/internal/strategy"
+)
+
+// TestPipelineReturnsTap wires the TA stage's tap into a signal broker
+// — the production topology: one pipeline feeding partitioned signal
+// fan-out — and checks the tap sees every interval the correlation
+// stage consumes, in order, while the broker drains to completion.
+func TestPipelineReturnsTap(t *testing.T) {
+	u := testUniverse(t)
+	quotes := genQuotes(t, u)
+	params := pipelineParams()
+
+	bk, err := broker.New(broker.Config{
+		N:          u.Len(),
+		Partitions: 3,
+		M:          params.M,
+		W:          params.W,
+		D:          params.D,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bk.Close()
+	bk.Start()
+
+	var tapped []int
+	cfg := PipelineConfig{
+		Universe: u,
+		Params:   []strategy.Params{params},
+		Workers:  2,
+		ReturnsTap: func(s int, rets []float64) error {
+			tapped = append(tapped, s) // TA stage is single-worker: no races
+			return bk.OfferReturns(s, rets)
+		},
+	}
+	res, err := RunPipeline(context.Background(), cfg, quotes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.FinishInput()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := bk.WaitDone(ctx); err != nil {
+		t.Fatalf("broker did not drain: %v", err)
+	}
+
+	if len(tapped) == 0 {
+		t.Fatal("tap observed nothing")
+	}
+	for i := 1; i < len(tapped); i++ {
+		if tapped[i] <= tapped[i-1] {
+			t.Fatalf("tap out of order at %d: %d after %d", i, tapped[i], tapped[i-1])
+		}
+	}
+	// Every matrix the pipeline's engine produced came from a tapped
+	// vector (the engine needs M vectors before the first matrix).
+	if len(tapped) < res.Matrices {
+		t.Fatalf("tapped %d vectors < %d matrices", len(tapped), res.Matrices)
+	}
+	nPairs := u.Len() * (u.Len() - 1) / 2
+	total := 0
+	for p := 0; p < bk.NumPartitions(); p++ {
+		total += len(bk.PartitionPairs(p))
+	}
+	if total != nPairs {
+		t.Fatalf("broker partitions cover %d pairs, want %d", total, nPairs)
+	}
+}
+
+// TestPipelineReturnsTapError: a failing tap fails the run instead of
+// silently dropping broker input.
+func TestPipelineReturnsTapError(t *testing.T) {
+	u := testUniverse(t)
+	quotes := genQuotes(t, u)
+	tapErr := errors.New("tap sink rejected vector")
+	cfg := PipelineConfig{
+		Universe: u,
+		Params:   []strategy.Params{pipelineParams()},
+		ReturnsTap: func(s int, rets []float64) error {
+			return tapErr
+		},
+	}
+	_, err := RunPipeline(context.Background(), cfg, quotes, 0)
+	if err == nil {
+		t.Fatal("tap error did not fail the pipeline")
+	}
+	if !strings.Contains(err.Error(), tapErr.Error()) {
+		t.Fatalf("error %v does not carry the tap failure", err)
+	}
+}

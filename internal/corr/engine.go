@@ -438,6 +438,13 @@ func rollingPearson(x, y []float64, m int, dst []float64) {
 // M vectors have arrived, produces the full correlation matrix of the
 // trailing window after every push — "large correlation matrices in an
 // online fashion".
+//
+// When EngineConfig.Pairs is set the engine computes only that subset
+// of the pair triangle (unselected matrix slots stay 0). This is the
+// partition seam the signal broker builds on: each partition processor
+// owns one pair subset with its own warm state, and Snapshot/Restore
+// of a subset engine is its complete per-partition state store.
+// Selected-pair coefficients are bit-identical to a full engine's.
 type OnlineEngine struct {
 	cfg     EngineConfig
 	n       int
@@ -447,6 +454,7 @@ type OnlineEngine struct {
 	scratch [][]float64 // contiguous window copies, one per stock
 	pool    []*Scratch  // per-worker robust scratch
 	pairs   []taq.Pair  // cached pair table
+	sel     []int       // selected canonical pair ids (identity when cfg.Pairs is nil)
 	fits    []Fit       // per-pair warm-start state (robust types only)
 
 	// Matrix-level shared state, refreshed per push: tiles over the
@@ -483,11 +491,43 @@ func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
 		e.pool[i] = &Scratch{}
 	}
 	e.pairs = taq.AllPairs(n)
-	pairIdx := make([]int, len(e.pairs))
-	for i := range pairIdx {
-		pairIdx[i] = i
+	var pairIdx []int
+	if cfg.Pairs != nil {
+		// Subset mode: compute only the selected pairs. PSD repair is a
+		// whole-matrix operation and cannot be meaningful on a partial
+		// triangle, so the combination is rejected outright.
+		if cfg.RepairPSD {
+			return nil, errors.New("corr: Pairs subset and RepairPSD are incompatible")
+		}
+		if len(cfg.Pairs) == 0 {
+			return nil, errors.New("corr: empty pair subset")
+		}
+		sel := append([]int(nil), cfg.Pairs...)
+		for i, id := range sel {
+			if id < 0 || id >= len(e.pairs) {
+				return nil, fmt.Errorf("corr: pair id %d outside [0,%d)", id, len(e.pairs))
+			}
+			if i > 0 && id <= sel[i-1] {
+				return nil, fmt.Errorf("corr: pair subset not strictly ascending at index %d", i)
+			}
+		}
+		pairIdx = sel
+	} else {
+		pairIdx = make([]int, len(e.pairs))
+		for i := range pairIdx {
+			pairIdx[i] = i
+		}
 	}
+	e.sel = pairIdx
 	e.tiles = buildTiles(pairIdx, e.pairs, cfg.tileSize())
+	// buildTiles returns positions into pairIdx; remap them to canonical
+	// pair ids so matrix() indexes e.pairs/e.fits/Matrix slots uniformly
+	// whether or not a subset is selected.
+	for _, tile := range e.tiles {
+		for i, pos := range tile {
+			tile[i] = pairIdx[pos]
+		}
+	}
 	switch cfg.Type {
 	case Pearson:
 		e.sums = make([]float64, n)
@@ -593,7 +633,7 @@ func (e *OnlineEngine) matrix() *Matrix {
 		// and after degenerate fits); mid-stream warm fallbacks are
 		// rare and recompute inline, which yields identical values.
 		e.haveInit = false
-		for k := range e.fits {
+		for _, k := range e.sel {
 			if !e.fits[k].Valid {
 				for i, s := range e.scratch {
 					e.inits[i] = ColdInitOf(e.initBuf, s)

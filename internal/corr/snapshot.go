@@ -47,9 +47,20 @@ type EngineSnapshot struct {
 
 // Fingerprint summarises the configuration a snapshot is only valid
 // for. Snapshot stores embed it so a snapshot taken under one engine
-// configuration is never restored into another.
+// configuration is never restored into another. Subset engines (a
+// partition processor's slice of the triangle) append a hash of the
+// selected pair ids, so a snapshot never crosses partition boundaries
+// even when shapes coincide.
 func (e *OnlineEngine) Fingerprint() string {
-	return fmt.Sprintf("%s|%s|n=%d|m=%d|psd=%v", EngineSnapshotSchema, e.cfg.Type, e.n, e.cfg.M, e.cfg.RepairPSD)
+	fp := fmt.Sprintf("%s|%s|n=%d|m=%d|psd=%v", EngineSnapshotSchema, e.cfg.Type, e.n, e.cfg.M, e.cfg.RepairPSD)
+	if len(e.sel) != len(e.pairs) {
+		h := uint64(14695981039346656037) // FNV-64a offset basis
+		for _, id := range e.sel {
+			h = (h ^ uint64(id)) * 1099511628211
+		}
+		fp += fmt.Sprintf("|pairs=%d:%016x", len(e.sel), h)
+	}
+	return fp
 }
 
 // Snapshot captures the engine's warm state. The result shares no

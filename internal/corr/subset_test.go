@@ -1,0 +1,148 @@
+package corr
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOnlineEnginePairSubset pins the partition seam the signal broker
+// relies on: a subset engine's selected-pair coefficients are
+// bit-identical to a full engine's, unselected matrix slots stay zero,
+// and a snapshot/restore of the subset engine resumes its warm chain
+// exactly.
+func TestOnlineEnginePairSubset(t *testing.T) {
+	n, T, m := 8, 48, 12
+	rets := syntheticReturns(41, n, T)
+	subset := []int{1, 4, 9, 13, 20, 27}
+	for _, ty := range []Type{Pearson, Maronna, Combined} {
+		t.Run(ty.String(), func(t *testing.T) {
+			full, err := NewOnlineEngine(EngineConfig{Type: ty, M: m, Workers: 2}, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sub, err := NewOnlineEngine(EngineConfig{Type: ty, M: m, Workers: 3, Pairs: subset, TileSize: 2}, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			selected := make(map[int]bool, len(subset))
+			for _, id := range subset {
+				selected[id] = true
+			}
+			nPairs := n * (n - 1) / 2
+			vec := make([]float64, n)
+			for u := 0; u < T; u++ {
+				for i := 0; i < n; i++ {
+					vec[i] = rets[i][u]
+				}
+				mf, err := full.Push(vec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms, err := sub.Push(vec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (mf == nil) != (ms == nil) {
+					t.Fatalf("u=%d: readiness mismatch", u)
+				}
+				if mf == nil {
+					continue
+				}
+				for k := 0; k < nPairs; k++ {
+					got := ms.AtPair(k)
+					if selected[k] {
+						if math.Float64bits(got) != math.Float64bits(mf.AtPair(k)) {
+							t.Fatalf("u=%d pair %d: subset %v != full %v", u, k, got, mf.AtPair(k))
+						}
+					} else if got != 0 {
+						t.Fatalf("u=%d pair %d: unselected slot = %v, want 0", u, k, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOnlineEnginePairSubsetSnapshotResume restores a subset engine's
+// snapshot into a fresh identically-configured engine mid-stream and
+// requires bit-identical continuation — the broker's per-partition
+// state-store contract.
+func TestOnlineEnginePairSubsetSnapshotResume(t *testing.T) {
+	n, T, m, cut := 6, 40, 10, 24
+	rets := syntheticReturns(43, n, T)
+	subset := []int{0, 3, 7, 11, 14}
+	cfg := EngineConfig{Type: Combined, M: m, Pairs: subset}
+	orig, err := NewOnlineEngine(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([]float64, n)
+	push := func(e *OnlineEngine, u int) *Matrix {
+		for i := 0; i < n; i++ {
+			vec[i] = rets[i][u]
+		}
+		mx, err := e.Push(vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mx
+	}
+	for u := 0; u < cut; u++ {
+		push(orig, u)
+	}
+	snap := orig.Snapshot()
+
+	resumed, err := NewOnlineEngine(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for u := cut; u < T; u++ {
+		mo := push(orig, u)
+		mr := push(resumed, u)
+		for _, k := range subset {
+			if math.Float64bits(mo.AtPair(k)) != math.Float64bits(mr.AtPair(k)) {
+				t.Fatalf("u=%d pair %d: resumed %v != original %v", u, k, mr.AtPair(k), mo.AtPair(k))
+			}
+		}
+	}
+}
+
+func TestOnlineEnginePairSubsetFingerprint(t *testing.T) {
+	n, m := 6, 10
+	full, _ := NewOnlineEngine(EngineConfig{Type: Pearson, M: m}, n)
+	subA, _ := NewOnlineEngine(EngineConfig{Type: Pearson, M: m, Pairs: []int{0, 2}}, n)
+	subB, _ := NewOnlineEngine(EngineConfig{Type: Pearson, M: m, Pairs: []int{0, 3}}, n)
+	if full.Fingerprint() == subA.Fingerprint() {
+		t.Error("subset fingerprint should differ from full")
+	}
+	if subA.Fingerprint() == subB.Fingerprint() {
+		t.Error("different subsets should fingerprint differently")
+	}
+	if !strings.Contains(subA.Fingerprint(), "pairs=2:") {
+		t.Errorf("subset fingerprint %q missing pair count", subA.Fingerprint())
+	}
+}
+
+func TestOnlineEnginePairSubsetErrors(t *testing.T) {
+	n, m := 5, 8
+	cases := []struct {
+		name string
+		cfg  EngineConfig
+	}{
+		{"repair-psd", EngineConfig{Type: Pearson, M: m, Pairs: []int{0, 1}, RepairPSD: true}},
+		{"empty", EngineConfig{Type: Pearson, M: m, Pairs: []int{}}},
+		{"out-of-range", EngineConfig{Type: Pearson, M: m, Pairs: []int{0, 99}}},
+		{"negative", EngineConfig{Type: Pearson, M: m, Pairs: []int{-1, 2}}},
+		{"descending", EngineConfig{Type: Pearson, M: m, Pairs: []int{3, 1}}},
+		{"duplicate", EngineConfig{Type: Pearson, M: m, Pairs: []int{2, 2}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewOnlineEngine(tc.cfg, n); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}

@@ -74,6 +74,16 @@ func (t FrameType) String() string {
 		return "end"
 	case FrameSubscribe:
 		return "subscribe"
+	case FrameGroupSub:
+		return "group-sub"
+	case FrameAssign:
+		return "assign"
+	case FrameSnapshot:
+		return "snapshot"
+	case FrameDelta:
+		return "delta"
+	case FrameAck:
+		return "ack"
 	default:
 		return fmt.Sprintf("type-%d", byte(t))
 	}
@@ -88,7 +98,9 @@ func protoErrf(format string, args ...any) error {
 }
 
 // Frame is one decoded wire message: *Hello, *Batch, *Heartbeat, *End
-// or *Subscribe.
+// or *Subscribe from the quote feed, or *GroupSub, *Assign,
+// *SnapshotFrame, *DeltaFrame or *AckFrame from the signal broker
+// extension (see signal.go).
 type Frame interface{ frameType() FrameType }
 
 // Hello is the first server frame: protocol version plus the symbol
@@ -320,6 +332,16 @@ func (d *Decoder) Read() (Frame, error) {
 			return nil, err
 		}
 		return &Subscribe{From: from}, nil
+	case FrameGroupSub:
+		return decodeGroupSub(d.buf)
+	case FrameAssign:
+		return decodeAssign(d.buf)
+	case FrameSnapshot:
+		return decodeSnapshot(d.buf)
+	case FrameDelta:
+		return decodeDelta(d.buf)
+	case FrameAck:
+		return decodeAck(d.buf)
 	default:
 		return nil, protoErrf("unknown frame type %d", hdr[0])
 	}

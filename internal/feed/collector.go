@@ -10,6 +10,7 @@ import (
 
 	"sync"
 
+	"marketminer/internal/metrics"
 	"marketminer/internal/taq"
 )
 
@@ -100,9 +101,13 @@ func (c CollectorConfig) withDefaults() CollectorConfig {
 	return c
 }
 
-// CollectorStats is a snapshot of collector counters.
+// CollectorStats is a snapshot of collector counters. Gaps and
+// Reconnects are mirrored into the process-wide metrics registry as
+// "feed.collector.gap_resumes" and "feed.collector.reconnects", so
+// operators see resume churn without scraping logs.
 type CollectorStats struct {
 	Connects        int // sessions that completed a handshake
+	Reconnects      int // handshakes after the first (resumed sessions)
 	DialFailures    int // failed connection attempts
 	Disconnects     int // sessions that ended before the End frame
 	Batches         int // batches delivered downstream
@@ -307,6 +312,10 @@ func (c *Collector) session(ctx context.Context, conn net.Conn) (progressed bool
 	}
 	c.mu.Lock()
 	c.st.Connects++
+	if c.st.Connects > 1 {
+		c.st.Reconnects++
+		metrics.Counter("feed.collector.reconnects").Inc()
+	}
 	c.mu.Unlock()
 
 	for {
@@ -325,6 +334,7 @@ func (c *Collector) session(ctx context.Context, conn net.Conn) (progressed bool
 				continue
 			case fr.Seq != c.lastSeq+1:
 				c.st.Gaps++
+				metrics.Counter("feed.collector.gap_resumes").Inc()
 				c.mu.Unlock()
 				// Force a reconnect; the fresh Subscribe re-requests
 				// the hole, so the gap costs latency, not data.

@@ -1,0 +1,107 @@
+package feed
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"marketminer/internal/taq"
+)
+
+// FuzzDecoder throws arbitrary byte streams at the frame decoder. The
+// decoder's contract under corruption is: return an error (or a clean
+// EOF), never panic, never allocate proportionally to a lying length
+// field. The seed corpus is the frame mix the chaos e2e exercises —
+// every frame type the quote feed and the signal broker speak, plus
+// truncated, bit-flipped and length-corrupted variants of each.
+func FuzzDecoder(f *testing.F) {
+	u, err := newSeedUniverse()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, u)
+	seed := func(write func() error) []byte {
+		buf.Reset()
+		if err := write(); err != nil {
+			f.Fatal(err)
+		}
+		return append([]byte(nil), buf.Bytes()...)
+	}
+
+	quotes := testQuotesForFuzz(u, 16)
+	sigs := testSignals(8, 1)
+	frames := [][]byte{
+		seed(func() error { return enc.WriteHello(&Hello{Version: ProtocolVersion, Symbols: u.Symbols()}) }),
+		seed(func() error { return enc.WriteBatch(&Batch{Seq: 1, Day: 2, Quotes: quotes}) }),
+		seed(func() error { return enc.WriteHeartbeat(&Heartbeat{Seq: 3}) }),
+		seed(func() error { return enc.WriteEnd(&End{Seq: 4}) }),
+		seed(func() error { return enc.WriteSubscribe(&Subscribe{From: 5}) }),
+		seed(func() error {
+			return enc.WriteGroupSub(&GroupSub{Group: "g", Member: "m-0", FromStart: true,
+				Offsets: []PartitionOffset{{Partition: 1, Offset: 7}}})
+		}),
+		seed(func() error { return enc.WriteAssign(&Assign{Epoch: 2, NumPartitions: 4, Partitions: []uint16{0, 2}}) }),
+		seed(func() error { return enc.WriteSnapshot(&SnapshotFrame{Partition: 1, EndOffset: 8, Latest: sigs}) }),
+		seed(func() error { return enc.WriteDelta(&DeltaFrame{Partition: 1, Sealed: true, Signals: sigs}) }),
+		seed(func() error { return enc.WriteAck(&AckFrame{Partition: 1, Offset: 8}) }),
+	}
+
+	// A hello followed by a batch (the decoder's symbol table path),
+	// and the full session prefix the chaos e2e drives.
+	var session []byte
+	for _, fr := range frames {
+		session = append(session, fr...)
+	}
+	f.Add(session)
+	for _, fr := range frames {
+		f.Add(fr)
+		if len(fr) > frameHeaderSize {
+			f.Add(fr[:frameHeaderSize+1]) // torn payload
+		}
+		flipped := append([]byte(nil), fr...)
+		flipped[len(flipped)/2] ^= 0x40
+		f.Add(flipped)
+		lied := append([]byte(nil), fr...)
+		lied[1] ^= 0xff // length prefix corruption
+		f.Add(lied)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			fr, err := dec.Read()
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF {
+					return
+				}
+				return // protocol error: acceptable, just must not panic
+			}
+			if fr == nil {
+				t.Fatal("nil frame with nil error")
+			}
+		}
+	})
+}
+
+func newSeedUniverse() (*taq.Universe, error) {
+	return taq.NewUniverse([]string{"AAA", "BBB", "CCC", "DDD"})
+}
+
+func testQuotesForFuzz(u *taq.Universe, n int) []taq.Quote {
+	out := make([]taq.Quote, n)
+	for i := range out {
+		out[i] = taq.Quote{
+			Day:     1,
+			Symbol:  u.Symbol(i % u.Len()),
+			SeqTime: float64(i),
+			Bid:     100 + float64(i)*0.5,
+			Ask:     100.5 + float64(i)*0.5,
+			BidSize: i,
+			AskSize: i * 2,
+		}
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package feed
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Broker extension frames. The signal broker speaks the same
+// length-prefixed CRC-framed wire as the quote feed, with five extra
+// frame types: GroupSub (client → broker: join a consumer group with
+// per-partition resume offsets), Assign (broker → client: the epoch-
+// stamped partition assignment, re-sent on every rebalance), Snapshot
+// (broker → client: compacted latest-signal-per-pair state of one
+// partition at a known end offset), Delta (broker → client: new
+// signals in offset order) and Ack (client → broker: commit offset for
+// one partition). Heartbeat and End are shared with the quote feed.
+const (
+	FrameGroupSub FrameType = 6
+	FrameAssign   FrameType = 7
+	FrameSnapshot FrameType = 8
+	FrameDelta    FrameType = 9
+	FrameAck      FrameType = 10
+)
+
+// Signal is one published pair signal on the wire. Offset is the
+// per-partition log position (starting at 1, contiguous); Pair is the
+// canonical pair id; S the grid interval; Kind a broker-defined
+// discriminant (update / diverge / revert); C and Cbar the correlation
+// and its W-average at S.
+type Signal struct {
+	Offset uint64
+	Pair   uint32
+	S      uint32
+	Kind   uint8
+	C      float64
+	Cbar   float64
+}
+
+const signalWireSize = 8 + 4 + 4 + 1 + 8 + 8
+
+// MaxSignalRecs bounds the signals carried by one Snapshot or Delta
+// frame.
+const MaxSignalRecs = (MaxFrameSize - 16) / signalWireSize
+
+// PartitionOffset is a (partition, offset) resume point inside a
+// GroupSub frame.
+type PartitionOffset struct {
+	Partition uint16
+	Offset    uint64
+}
+
+// GroupSub is the broker client's subscription frame: consumer group
+// and member names, explicit per-partition resume offsets (the last
+// offset the client has durably seen), and a FromStart flag. A
+// partition with no offset and no FromStart is served compacted
+// state (Snapshot) then deltas; FromStart forces a full replay from
+// offset 1 instead — the mode a deterministic audit consumer wants.
+type GroupSub struct {
+	Group     string
+	Member    string
+	FromStart bool
+	Offsets   []PartitionOffset
+}
+
+// Assign tells a member its current partition set. Epoch increments on
+// every group membership or processor-lease change, so a client can
+// count rebalances and detect stale assignments.
+type Assign struct {
+	Epoch         uint64
+	NumPartitions uint16
+	Partitions    []uint16
+}
+
+// SnapshotFrame carries the compacted state of one partition: the
+// latest signal per pair (ascending pair id) as of EndOffset. Deltas
+// for the partition then continue from EndOffset+1.
+type SnapshotFrame struct {
+	Partition uint16
+	EndOffset uint64
+	Latest    []Signal
+}
+
+// DeltaFrame carries new signals for one partition in strictly
+// ascending contiguous offset order. Sealed marks the end of the
+// partition's stream (no further signals will ever follow).
+type DeltaFrame struct {
+	Partition uint16
+	Sealed    bool
+	Signals   []Signal
+}
+
+// AckFrame commits a member's delivered offset for one partition.
+type AckFrame struct {
+	Partition uint16
+	Offset    uint64
+}
+
+func (*GroupSub) frameType() FrameType      { return FrameGroupSub }
+func (*Assign) frameType() FrameType        { return FrameAssign }
+func (*SnapshotFrame) frameType() FrameType { return FrameSnapshot }
+func (*DeltaFrame) frameType() FrameType    { return FrameDelta }
+func (*AckFrame) frameType() FrameType      { return FrameAck }
+
+// WriteGroupSub emits a consumer-group subscription.
+func (e *Encoder) WriteGroupSub(g *GroupSub) error {
+	if len(g.Group) > maxSymbolLen || len(g.Member) > maxSymbolLen {
+		return protoErrf("group or member name too long")
+	}
+	if len(g.Offsets) > math.MaxUint16 {
+		return protoErrf("group-sub carries %d offsets", len(g.Offsets))
+	}
+	e.begin(FrameGroupSub)
+	e.putU16(uint16(len(g.Group)))
+	e.buf = append(e.buf, g.Group...)
+	e.putU16(uint16(len(g.Member)))
+	e.buf = append(e.buf, g.Member...)
+	if g.FromStart {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+	e.putU16(uint16(len(g.Offsets)))
+	for _, po := range g.Offsets {
+		e.putU16(po.Partition)
+		e.putU64(po.Offset)
+	}
+	return e.finish()
+}
+
+// WriteAssign emits a partition assignment.
+func (e *Encoder) WriteAssign(a *Assign) error {
+	if len(a.Partitions) > math.MaxUint16 {
+		return protoErrf("assign carries %d partitions", len(a.Partitions))
+	}
+	e.begin(FrameAssign)
+	e.putU64(a.Epoch)
+	e.putU16(a.NumPartitions)
+	e.putU16(uint16(len(a.Partitions)))
+	for _, p := range a.Partitions {
+		e.putU16(p)
+	}
+	return e.finish()
+}
+
+func (e *Encoder) putSignal(s *Signal) {
+	e.putU64(s.Offset)
+	e.putU32(s.Pair)
+	e.putU32(s.S)
+	e.buf = append(e.buf, s.Kind)
+	e.putF64(s.C)
+	e.putF64(s.Cbar)
+}
+
+// WriteSnapshot emits a partition's compacted state.
+func (e *Encoder) WriteSnapshot(s *SnapshotFrame) error {
+	if len(s.Latest) > MaxSignalRecs {
+		return protoErrf("snapshot of %d signals exceeds limit %d", len(s.Latest), MaxSignalRecs)
+	}
+	e.begin(FrameSnapshot)
+	e.putU16(s.Partition)
+	e.putU64(s.EndOffset)
+	e.putU32(uint32(len(s.Latest)))
+	for i := range s.Latest {
+		e.putSignal(&s.Latest[i])
+	}
+	return e.finish()
+}
+
+// WriteDelta emits new signals for one partition.
+func (e *Encoder) WriteDelta(d *DeltaFrame) error {
+	if len(d.Signals) > MaxSignalRecs {
+		return protoErrf("delta of %d signals exceeds limit %d", len(d.Signals), MaxSignalRecs)
+	}
+	e.begin(FrameDelta)
+	e.putU16(d.Partition)
+	if d.Sealed {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+	e.putU32(uint32(len(d.Signals)))
+	for i := range d.Signals {
+		e.putSignal(&d.Signals[i])
+	}
+	return e.finish()
+}
+
+// WriteAck emits a commit offset.
+func (e *Encoder) WriteAck(a *AckFrame) error {
+	e.begin(FrameAck)
+	e.putU16(a.Partition)
+	e.putU64(a.Offset)
+	return e.finish()
+}
+
+func getSignal(p []byte) Signal {
+	return Signal{
+		Offset: binary.LittleEndian.Uint64(p),
+		Pair:   binary.LittleEndian.Uint32(p[8:]),
+		S:      binary.LittleEndian.Uint32(p[12:]),
+		Kind:   p[16],
+		C:      math.Float64frombits(binary.LittleEndian.Uint64(p[17:])),
+		Cbar:   math.Float64frombits(binary.LittleEndian.Uint64(p[25:])),
+	}
+}
+
+func decodeGroupSub(p []byte) (*GroupSub, error) {
+	g := &GroupSub{}
+	str := func(what string) (string, error) {
+		if len(p) < 2 {
+			return "", protoErrf("group-sub truncated before %s", what)
+		}
+		n := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) < n {
+			return "", protoErrf("group-sub %s truncated", what)
+		}
+		s := string(p[:n])
+		p = p[n:]
+		return s, nil
+	}
+	var err error
+	if g.Group, err = str("group"); err != nil {
+		return nil, err
+	}
+	if g.Member, err = str("member"); err != nil {
+		return nil, err
+	}
+	if len(p) < 3 {
+		return nil, protoErrf("group-sub truncated before offsets")
+	}
+	switch p[0] {
+	case 0:
+	case 1:
+		g.FromStart = true
+	default:
+		return nil, protoErrf("group-sub from-start flag %d", p[0])
+	}
+	count := int(binary.LittleEndian.Uint16(p[1:]))
+	p = p[3:]
+	if len(p) != count*10 {
+		return nil, protoErrf("group-sub declares %d offsets but carries %d bytes", count, len(p))
+	}
+	g.Offsets = make([]PartitionOffset, count)
+	for i := range g.Offsets {
+		rec := p[i*10:]
+		g.Offsets[i] = PartitionOffset{
+			Partition: binary.LittleEndian.Uint16(rec),
+			Offset:    binary.LittleEndian.Uint64(rec[2:]),
+		}
+	}
+	return g, nil
+}
+
+func decodeAssign(p []byte) (*Assign, error) {
+	if len(p) < 12 {
+		return nil, protoErrf("assign payload too short (%d bytes)", len(p))
+	}
+	a := &Assign{
+		Epoch:         binary.LittleEndian.Uint64(p),
+		NumPartitions: binary.LittleEndian.Uint16(p[8:]),
+	}
+	count := int(binary.LittleEndian.Uint16(p[10:]))
+	p = p[12:]
+	if len(p) != count*2 {
+		return nil, protoErrf("assign declares %d partitions but carries %d bytes", count, len(p))
+	}
+	a.Partitions = make([]uint16, count)
+	for i := range a.Partitions {
+		a.Partitions[i] = binary.LittleEndian.Uint16(p[i*2:])
+	}
+	return a, nil
+}
+
+func decodeSnapshot(p []byte) (*SnapshotFrame, error) {
+	if len(p) < 14 {
+		return nil, protoErrf("snapshot payload too short (%d bytes)", len(p))
+	}
+	s := &SnapshotFrame{
+		Partition: binary.LittleEndian.Uint16(p),
+		EndOffset: binary.LittleEndian.Uint64(p[2:]),
+	}
+	count := int(binary.LittleEndian.Uint32(p[10:]))
+	p = p[14:]
+	if count > MaxSignalRecs || len(p) != count*signalWireSize {
+		return nil, protoErrf("snapshot declares %d signals but carries %d bytes", count, len(p))
+	}
+	s.Latest = make([]Signal, count)
+	for i := range s.Latest {
+		s.Latest[i] = getSignal(p[i*signalWireSize:])
+	}
+	return s, nil
+}
+
+func decodeDelta(p []byte) (*DeltaFrame, error) {
+	if len(p) < 7 {
+		return nil, protoErrf("delta payload too short (%d bytes)", len(p))
+	}
+	d := &DeltaFrame{Partition: binary.LittleEndian.Uint16(p)}
+	switch p[2] {
+	case 0:
+	case 1:
+		d.Sealed = true
+	default:
+		return nil, protoErrf("delta sealed flag %d", p[2])
+	}
+	count := int(binary.LittleEndian.Uint32(p[3:]))
+	p = p[7:]
+	if count > MaxSignalRecs || len(p) != count*signalWireSize {
+		return nil, protoErrf("delta declares %d signals but carries %d bytes", count, len(p))
+	}
+	d.Signals = make([]Signal, count)
+	for i := range d.Signals {
+		d.Signals[i] = getSignal(p[i*signalWireSize:])
+	}
+	return d, nil
+}
+
+func decodeAck(p []byte) (*AckFrame, error) {
+	if len(p) != 10 {
+		return nil, protoErrf("ack payload %d bytes, want 10", len(p))
+	}
+	return &AckFrame{
+		Partition: binary.LittleEndian.Uint16(p),
+		Offset:    binary.LittleEndian.Uint64(p[2:]),
+	}, nil
+}

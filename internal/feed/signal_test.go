@@ -1,0 +1,165 @@
+package feed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testSignals(n int, base uint64) []Signal {
+	out := make([]Signal, n)
+	for i := range out {
+		out[i] = Signal{
+			Offset: base + uint64(i),
+			Pair:   uint32(i * 7 % 1830),
+			S:      uint32(30 + i),
+			Kind:   uint8(i % 3),
+			C:      math.Cos(float64(i) * 0.1),
+			Cbar:   math.Cos(float64(i)*0.1) + 0.01,
+		}
+	}
+	return out
+}
+
+func TestBrokerFramesRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	sigs := testSignals(5, 11)
+
+	want := []Frame{
+		&GroupSub{Group: "g", Member: "m-1", FromStart: true,
+			Offsets: []PartitionOffset{{Partition: 0, Offset: 10}, {Partition: 3, Offset: 0}}},
+		&GroupSub{Group: "dash", Member: "viewer"},
+		&Assign{Epoch: 4, NumPartitions: 8, Partitions: []uint16{1, 5, 7}},
+		&Assign{Epoch: 5, NumPartitions: 8},
+		&SnapshotFrame{Partition: 2, EndOffset: 15, Latest: sigs},
+		&SnapshotFrame{Partition: 2},
+		&DeltaFrame{Partition: 6, Signals: sigs},
+		&DeltaFrame{Partition: 6, Sealed: true},
+		&AckFrame{Partition: 1, Offset: 99},
+	}
+	for i, f := range want {
+		var err error
+		switch fr := f.(type) {
+		case *GroupSub:
+			err = enc.WriteGroupSub(fr)
+		case *Assign:
+			err = enc.WriteAssign(fr)
+		case *SnapshotFrame:
+			err = enc.WriteSnapshot(fr)
+		case *DeltaFrame:
+			err = enc.WriteDelta(fr)
+		case *AckFrame:
+			err = enc.WriteAck(fr)
+		}
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, w := range want {
+		got, err := dec.Read()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		// Empty slices decode as non-nil empty or nil; normalise.
+		if !reflect.DeepEqual(normaliseFrame(got), normaliseFrame(w)) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, w)
+		}
+	}
+}
+
+func normaliseFrame(f Frame) Frame {
+	switch fr := f.(type) {
+	case *GroupSub:
+		c := *fr
+		if len(c.Offsets) == 0 {
+			c.Offsets = nil
+		}
+		return &c
+	case *Assign:
+		c := *fr
+		if len(c.Partitions) == 0 {
+			c.Partitions = nil
+		}
+		return &c
+	case *SnapshotFrame:
+		c := *fr
+		if len(c.Latest) == 0 {
+			c.Latest = nil
+		}
+		return &c
+	case *DeltaFrame:
+		c := *fr
+		if len(c.Signals) == 0 {
+			c.Signals = nil
+		}
+		return &c
+	}
+	return f
+}
+
+// reframe re-patches a (possibly truncated or mutated) raw frame's
+// length prefix and CRC so the corruption reaches the payload decoder
+// instead of tripping the checksum.
+func reframe(b []byte) []byte {
+	payload := len(b) - frameHeaderSize
+	binary.LittleEndian.PutUint32(b[1:5], uint32(payload))
+	crc := crc32.Update(0, crc32.IEEETable, b[:1])
+	crc = crc32.Update(crc, crc32.IEEETable, b[frameHeaderSize:])
+	binary.LittleEndian.PutUint32(b[5:frameHeaderSize], crc)
+	return b
+}
+
+func TestBrokerFramesRejectMalformed(t *testing.T) {
+	sig := testSignals(1, 1)[0]
+	cases := []struct {
+		name  string
+		write func(enc *Encoder) error
+		mut   func(frame []byte) []byte
+	}{
+		{"group-sub truncated member", func(e *Encoder) error {
+			return e.WriteGroupSub(&GroupSub{Group: "g", Member: "member"})
+		}, func(b []byte) []byte { return reframe(b[:len(b)-3]) }},
+		{"group-sub bad flag", func(e *Encoder) error {
+			return e.WriteGroupSub(&GroupSub{Group: "g", Member: "m"})
+		}, func(b []byte) []byte {
+			b[frameHeaderSize+2+1+2+1] = 7 // from-start flag position
+			return reframe(b)
+		}},
+		{"assign truncated", func(e *Encoder) error {
+			return e.WriteAssign(&Assign{Epoch: 1, NumPartitions: 4, Partitions: []uint16{0, 1}})
+		}, func(b []byte) []byte { return reframe(b[:len(b)-2]) }},
+		{"snapshot count lies", func(e *Encoder) error {
+			return e.WriteSnapshot(&SnapshotFrame{Partition: 0, EndOffset: 3, Latest: []Signal{sig}})
+		}, func(b []byte) []byte {
+			b[frameHeaderSize+10]++ // count field
+			return reframe(b)
+		}},
+		{"delta bad sealed flag", func(e *Encoder) error {
+			return e.WriteDelta(&DeltaFrame{Partition: 0, Signals: []Signal{sig}})
+		}, func(b []byte) []byte {
+			b[frameHeaderSize+2] = 9
+			return reframe(b)
+		}},
+		{"ack short", func(e *Encoder) error {
+			return e.WriteAck(&AckFrame{Partition: 0, Offset: 1})
+		}, func(b []byte) []byte { return reframe(b[:len(b)-1]) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			enc := NewEncoder(&buf, nil)
+			if err := tc.write(enc); err != nil {
+				t.Fatal(err)
+			}
+			raw := tc.mut(append([]byte(nil), buf.Bytes()...))
+			if _, err := NewDecoder(bytes.NewReader(raw)).Read(); err == nil {
+				t.Fatal("malformed frame accepted")
+			}
+		})
+	}
+}

@@ -31,8 +31,13 @@ type QueueStats struct {
 
 // Queue is a bounded FIFO with explicit backpressure and drop
 // accounting, the instrumented replacement for a bare channel between
-// a quote source and the DAG. Single producer, single consumer; the
-// producer must call Close after its final Push.
+// a quote source and the DAG. Pushes and Pops may run from concurrent
+// goroutines — the counters are atomic, and at quiescence (all
+// producers stopped, queue drained) they reconcile exactly:
+// DropOldest admits everything, so Pushed == Popped + Dropped;
+// DropNewest discards at the door, so Offered == Pushed + Dropped and
+// Pushed == Popped. Close is still a single-owner call, made only
+// after every producer's final Push.
 type Queue[T any] struct {
 	ch      chan T
 	pol     DropPolicy

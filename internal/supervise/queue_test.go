@@ -2,6 +2,7 @@ package supervise
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 )
@@ -120,5 +121,91 @@ func TestQueuePopCancel(t *testing.T) {
 	}()
 	if _, ok := q.Pop(ctx); ok {
 		t.Fatal("pop on empty queue with cancelled context returned ok")
+	}
+}
+
+// TestQueueDropAccountingConcurrentProducers reconciles the drop
+// counters with many producers racing each other and a concurrent
+// consumer: whatever interleaving the scheduler picks, every offered
+// message must be accounted for exactly once.
+func TestQueueDropAccountingConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 400
+		capacity  = 4
+	)
+	offered := int64(producers * perProd)
+	for _, tc := range []struct {
+		name string
+		pol  DropPolicy
+	}{
+		{"DropOldest", DropOldest},
+		{"DropNewest", DropNewest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			q := NewQueue[int](capacity, tc.pol)
+			ctx := context.Background()
+
+			var consumed int64
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for {
+					if _, ok := q.Pop(ctx); !ok {
+						return
+					}
+					consumed++
+				}
+			}()
+
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; i < perProd; i++ {
+						if !q.Push(ctx, p*perProd+i) {
+							t.Errorf("drop-mode Push returned false")
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			q.Close() // all producers joined: single-owner close
+			<-consumerDone
+
+			st := q.Stats()
+			if st.Popped != consumed {
+				t.Fatalf("Popped=%d but consumer saw %d", st.Popped, consumed)
+			}
+			if st.HighWater > capacity {
+				t.Errorf("HighWater %d exceeds capacity %d", st.HighWater, capacity)
+			}
+			if st.Blocked != 0 {
+				t.Errorf("Blocked=%d in a drop mode", st.Blocked)
+			}
+			switch tc.pol {
+			case DropOldest:
+				// Every offer is admitted; admitted = popped + evicted.
+				if st.Pushed != offered {
+					t.Errorf("Pushed=%d, want %d (DropOldest admits all)", st.Pushed, offered)
+				}
+				if st.Popped+st.Dropped != st.Pushed {
+					t.Errorf("accounting leak: popped %d + dropped %d != pushed %d",
+						st.Popped, st.Dropped, st.Pushed)
+				}
+			case DropNewest:
+				// Offers are either admitted or dropped at the door, and
+				// everything admitted is eventually popped.
+				if st.Pushed+st.Dropped != offered {
+					t.Errorf("accounting leak: pushed %d + dropped %d != offered %d",
+						st.Pushed, st.Dropped, offered)
+				}
+				if st.Popped != st.Pushed {
+					t.Errorf("drained queue: popped %d != pushed %d", st.Popped, st.Pushed)
+				}
+			}
+		})
 	}
 }

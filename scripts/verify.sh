@@ -29,6 +29,9 @@ go test -race ./internal/corr ./internal/sched
 echo "== go test -race ./internal/feed ./internal/supervise ./internal/chaos (robustness focus)"
 go test -race ./internal/feed ./internal/supervise ./internal/chaos
 
+echo "== go test -race ./internal/broker (signal broker focus)"
+go test -race ./internal/broker
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -37,6 +40,7 @@ go test -run '^$' -bench . -benchtime 1x ./...
 
 sh scripts/sweep_smoke.sh
 sh scripts/chaos_smoke.sh
+sh scripts/broker_smoke.sh
 
 echo "== bench gate: fresh kernel ratios vs committed BENCH_corr.json"
 bench_tmp=$(mktemp /tmp/mm_bench_gate.XXXXXX.json)
