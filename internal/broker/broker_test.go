@@ -3,6 +3,8 @@ package broker
 import (
 	"context"
 	"math"
+	"os"
+	"sync"
 	"testing"
 	"time"
 
@@ -302,21 +304,142 @@ func TestGroupAssignmentRoundRobin(t *testing.T) {
 	}
 }
 
-func TestCommitMonotonic(t *testing.T) {
+func TestCommitMonotonicAndClamped(t *testing.T) {
 	b, err := New(testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
 	g, _ := b.joinGroup("g", "m")
+	b.parts[1].log.appendBatch(0, make([]feed.Signal, 12)) // offsets 1..12
+	commitAt := func(p int) uint64 {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return g.commits[p]
+	}
 	b.commit(g, 1, 10)
 	b.commit(g, 1, 7) // stale replay ack must not rewind
 	b.commit(g, 99, 5)
-	b.mu.Lock()
-	got := g.commits[1]
-	b.mu.Unlock()
-	if got != 10 {
-		t.Fatalf("commit rewound to %d", got)
+	if got := commitAt(1); got != 10 {
+		t.Fatalf("commit = %d, want 10", got)
+	}
+	// An ack past the log end must not push the commit beyond data that
+	// exists, or a member resuming from commit+1 would skip the range.
+	b.commit(g, 1, 999)
+	if got := commitAt(1); got != 12 {
+		t.Fatalf("overshooting ack committed %d, want clamp to log end 12", got)
+	}
+	b.commit(g, 0, 5) // empty partition log: clamps to zero
+	if got := commitAt(0); got != 0 {
+		t.Fatalf("empty-log ack committed %d, want 0", got)
+	}
+}
+
+// recordingStore wraps a stateStore, capturing every saved procState
+// and optionally failing loads (a lost or rejected snapshot forcing a
+// cold-start replay of the partition log).
+type recordingStore struct {
+	inner stateStore
+
+	mu       sync.Mutex
+	saves    []recordedSave
+	failLoad bool
+}
+
+type recordedSave struct {
+	part int
+	st   procState
+}
+
+func (r *recordingStore) save(part int, fp string, payload any) error {
+	if st, ok := payload.(procState); ok {
+		r.mu.Lock()
+		r.saves = append(r.saves, recordedSave{part, st})
+		r.mu.Unlock()
+	}
+	return r.inner.save(part, fp, payload)
+}
+
+func (r *recordingStore) load(part int, fp string, payload any) error {
+	r.mu.Lock()
+	fail := r.failLoad
+	r.mu.Unlock()
+	if fail {
+		return os.ErrNotExist
+	}
+	return r.inner.load(part, fp, payload)
+}
+
+func (r *recordingStore) recorded() []recordedSave {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]recordedSave(nil), r.saves...)
+}
+
+// TestNoStateSaveDuringReplay: a cold-started processor replaying a
+// non-empty log (its snapshot was lost) must not save state until its
+// cursor passes the log. A mid-replay save would pair a lagging Cursor
+// with the full log's EndOffset; restoring it would push already-logged
+// intervals into rings rebuilt as of EndOffset, duplicating C values in
+// the W-window and breaking the bit-identical contract. The invariant
+// checked here: every saved state has EndOffset equal to the signals
+// its Cursor's input prefix generates.
+func TestNoStateSaveDuringReplay(t *testing.T) {
+	cfg := testConfig()
+	cfg.SnapshotEvery = 1 // as aggressive as possible: replay must still save nothing
+	rets := testReturns(8, 40)
+	want := referenceLogs(t, testConfig(), rets)
+
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	rec := &recordingStore{inner: b.store}
+	b.store = rec
+	b.Start()
+	for s := 0; s < 24; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Partition 2 must fully process the prefix first, so the post-kill
+	// replay spans 24 intervals — far more than SnapshotEvery.
+	wantEnd := uint64((24 - (cfg.M - 1)) * len(b.parts[2].pairs))
+	waitFor(t, func() bool { return b.parts[2].log.end() == wantEnd })
+
+	rec.mu.Lock()
+	rec.failLoad = true // the relaunch cold-starts and replays the log
+	rec.mu.Unlock()
+	b.KillPartition(2)
+	waitFor(t, func() bool {
+		b.parts[2].mu.Lock()
+		defer b.parts[2].mu.Unlock()
+		return b.parts[2].gen > 0
+	})
+	for s := 24; s < 40; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FinishInput()
+	got := drainLogs(t, b)
+	for p := range want {
+		sameSignals(t, "partition", got[p], want[p])
+	}
+	saves := rec.recorded()
+	if len(saves) == 0 {
+		t.Fatal("no state saves recorded")
+	}
+	for _, sv := range saves {
+		ready := sv.st.Cursor - (cfg.M - 1)
+		if ready < 0 {
+			ready = 0
+		}
+		if want := uint64(ready * len(b.parts[sv.part].pairs)); sv.st.EndOffset != want {
+			t.Fatalf("partition %d saved Cursor %d with EndOffset %d, want %d (mid-replay save)",
+				sv.part, sv.st.Cursor, sv.st.EndOffset, want)
+		}
 	}
 }
 

@@ -154,6 +154,157 @@ func assertStreams(t *testing.T, subs map[string]*Subscriber, want [][]feed.Sign
 		if st.Delivered == 0 || st.Acked == 0 {
 			t.Fatalf("%s: stats %+v look dead", id, st)
 		}
+		if st.Jumps != 0 {
+			t.Fatalf("%s: offsets jumped under fixed membership: %+v", id, st)
+		}
+	}
+}
+
+// TestReassignAwayAndBackNoLoss: a member that loses a partition to a
+// joining member mid-session and later wins it back (grace sweep) must
+// resume delivery from its in-session watermark — not re-take the
+// compacted-snapshot path, which would jump the server cursor over
+// every signal appended in between. The member never acks (AckEvery is
+// huge), so the group commit stays 0 and only the connection watermark
+// stands between the resume rule and silent loss.
+func TestReassignAwayAndBackNoLoss(t *testing.T) {
+	cfg := testConfig()
+	cfg.Partitions = 2
+	cfg.MemberGrace = 50 * time.Millisecond
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	addr, err := b.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := NewSubscriber(SubscriberConfig{
+		Group: "g", Member: "m-a",
+		AckEvery: 1 << 30, // never ack mid-day: commit must not mask the watermark
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr.String())
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- sub.Run(ctx) }()
+
+	rets := testReturns(8, 40)
+	waitFor(t, func() bool { return sub.Stats().Assigns >= 1 })
+	for s := 0; s < 20; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(sub.Signals(1)) > 0 })
+
+	// "m-b" sorts after "m-a": partition 1 moves to it, partition 0
+	// stays here.
+	g, session := b.joinGroup("g", "m-b")
+	waitFor(t, func() bool { return sub.Stats().Assigns >= 2 })
+
+	// Signals appended while the partition is assigned elsewhere are
+	// exactly the range the old snapshot path skipped.
+	mark := b.parts[1].log.end()
+	for s := 20; s < 30; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return b.parts[1].log.end() > mark })
+
+	// m-b leaves; once MemberGrace expires the sweep rebalances
+	// partition 1 back to m-a.
+	b.leaveGroup(g, "m-b", session)
+	waitFor(t, func() bool { return sub.Stats().Assigns >= 3 })
+
+	for s := 30; s < 40; s++ {
+		if err := b.OfferReturns(s, rets[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.FinishInput()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	logs := drainLogs(t, b)
+	for p := range logs {
+		sameSignals(t, "partition", sub.Signals(p), logs[p])
+	}
+	st := sub.Stats()
+	if st.Jumps != 0 {
+		t.Fatalf("delivery jumped offsets: %+v", st)
+	}
+	if st.Reconnects != 0 {
+		t.Fatalf("reassignment should not need reconnects: %+v", st)
+	}
+}
+
+// TestEmptyAssignmentGetsEnd: with more members than partitions, the
+// member left holding nothing must still receive End once the day is
+// drained — not heartbeat forever while its Run blocks.
+func TestEmptyAssignmentGetsEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Partitions = 1
+	// A long grace keeps the first member's assignment in place after
+	// its Run returns: the empty member must get End on its own merits,
+	// not by inheriting the partition from a sweep.
+	cfg.MemberGrace = time.Hour
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.Start()
+	feedAll(t, b, testReturns(8, 20))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := b.WaitDone(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := b.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-register both members so neither connection ever sees a
+	// single-member group: "m-b" computes an empty assignment from the
+	// first Assign on.
+	b.joinGroup("g", "m-a")
+	b.joinGroup("g", "m-b")
+	done := make(chan error, 2)
+	for _, id := range []string{"m-a", "m-b"} {
+		sub, err := NewSubscriber(SubscriberConfig{
+			Group: "g", Member: id,
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", addr.String())
+			},
+			Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { done <- sub.Run(ctx) }()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("subscriber did not end cleanly: %v", err)
+			}
+		case <-ctx.Done():
+			t.Fatal("a member with an empty assignment never received End")
+		}
 	}
 }
 

@@ -160,10 +160,16 @@ func (b *Broker) touchMember(g *group, memberID string, session uint64) {
 
 // commit records an acked offset. Commits are monotonic per partition:
 // a stale or duplicate ack (a reconnecting member replaying its last
-// ack) is a no-op, so the committed stream only moves forward.
+// ack) is a no-op, so the committed stream only moves forward. The
+// offset is clamped to the partition log end — a buggy client must not
+// push the group commit past data that exists, or a member later
+// resuming from commit+1 would silently skip the range in between.
 func (b *Broker) commit(g *group, part int, offset uint64) {
 	if part < 0 || part >= len(b.parts) {
 		return
+	}
+	if end := b.parts[part].log.end(); offset > end {
+		offset = end
 	}
 	b.mu.Lock()
 	if offset > g.commits[part] {

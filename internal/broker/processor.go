@@ -173,6 +173,10 @@ func (b *Broker) runProcessor(ctx context.Context, p *partition, gen int, progre
 			}
 			continue
 		}
+		// Replay detection must precede the publish: once this interval
+		// is appended, lastLoggedS catches up to entry.s and the
+		// distinction is gone.
+		replaying := entry.s <= p.log.lastLoggedS()
 		m, err := eng.Push(entry.rets)
 		if err != nil {
 			return err // supervised: restart replays from the snapshot
@@ -183,13 +187,20 @@ func (b *Broker) runProcessor(ctx context.Context, p *partition, gen int, progre
 			// Replay deduplication: batches already in the log (we are
 			// re-deriving them after a crash) are regenerated to warm
 			// the rings but never re-appended.
-			if entry.s > p.log.lastLoggedS() {
+			if !replaying {
 				if !b.publish(p, gen, entry.s, sigs) {
 					return nil // superseded mid-publish
 				}
 			}
 		}
 		progress()
+		if replaying {
+			// No state saves mid-replay: a snapshot taken here would
+			// pair a lagging Cursor with the full log's EndOffset, and a
+			// restore from it would re-push intervals whose C values are
+			// already in the rebuilt rings, corrupting the W-window.
+			continue
+		}
 		sinceSnap++
 		if sinceSnap >= b.cfg.SnapshotEvery {
 			sinceSnap = 0

@@ -57,10 +57,10 @@ type subCursor struct {
 // with Ack frames flowing back on the same connection.
 //
 // Delivery per partition resumes from max(member-supplied offset,
-// group commit). A member with no progress at all gets the compacted
-// snapshot (latest signal per pair) instead of the full log — unless
-// the GroupSub asked FromStart, which forces a full replay from
-// offset 1.
+// in-session delivery watermark, group commit). A member with no
+// progress at all gets the compacted snapshot (latest signal per
+// pair) instead of the full log — unless the GroupSub asked
+// FromStart, which forces a full replay from offset 1.
 func (b *Broker) handleConn(conn net.Conn) {
 	defer conn.Close()
 	dec := feed.NewDecoder(conn)
@@ -98,6 +98,11 @@ func (b *Broker) handleConn(conn net.Conn) {
 		}
 	}()
 
+	// resume holds the highest offset known delivered per partition:
+	// seeded from the GroupSub, folded forward when a partition is
+	// reassigned away mid-session so a later reassign-back continues
+	// where delivery stopped instead of re-taking the snapshot path
+	// (which would jump the cursor over signals this member never saw).
 	resume := make(map[int]uint64, len(gs.Offsets))
 	for _, po := range gs.Offsets {
 		resume[int(po.Partition)] = po.Offset
@@ -131,9 +136,13 @@ func (b *Broker) handleConn(conn net.Conn) {
 					}
 				}
 			}
-			// Partitions reassigned away stop being served here.
-			for p := range cursors {
+			// Partitions reassigned away stop being served here, but
+			// their delivery watermark survives in resume.
+			for p, cur := range cursors {
 				if !assigned[p] {
+					if cur.next > 1 && cur.next-1 > resume[p] {
+						resume[p] = cur.next - 1
+					}
 					delete(cursors, p)
 				}
 			}
@@ -147,7 +156,7 @@ func (b *Broker) handleConn(conn net.Conn) {
 			wrote = true
 		}
 
-		allSealed := len(cursors) > 0
+		allSealed := true
 		for p, cur := range cursors {
 			log := b.parts[p].log
 			if end := log.end(); cur.next > 0 && end >= cur.next && end-(cur.next-1) > b.cfg.EvictLag {
@@ -174,6 +183,13 @@ func (b *Broker) handleConn(conn net.Conn) {
 			}
 		}
 
+		// A member holding no partitions (the group has more members
+		// than partitions) is trivially sealed, but only once the whole
+		// day is drained — ending it earlier would shrink the group's
+		// standby capacity while partitions are still producing.
+		if len(cursors) == 0 {
+			allSealed = b.Done()
+		}
 		if allSealed && b.input.isSealed() {
 			seq++
 			if enc.WriteEnd(&feed.End{Seq: seq}) == nil {

@@ -47,6 +47,7 @@ type SubscriberStats struct {
 	Duplicates int // redelivered signals suppressed by the offset watermark
 	Acked      int // ack frames sent
 	Assigns    int // assignment announcements observed
+	Jumps      int // forward offset jumps (ranges consumed group-side by another member)
 }
 
 // Subscriber is a resuming consumer-group client. Across reconnects it
@@ -226,9 +227,15 @@ func (s *Subscriber) applyDelta(enc *feed.Encoder, f *feed.DeltaFrame) error {
 			s.stats.Duplicates++
 			continue
 		}
-		// Offsets are contiguous and deltas are in order, so a forward
-		// jump is impossible by construction; tolerate it as delivery
-		// rather than silently stalling.
+		// Offsets are contiguous within one tenure of a partition, but
+		// the group commit can advance while the partition was assigned
+		// elsewhere: another member delivered and acked the range in
+		// between, so resuming past it is group-level consumption, not
+		// loss. Count the jump (fixed-membership tests assert zero) and
+		// move the watermark forward.
+		if sig.Offset > s.next[p] {
+			s.stats.Jumps++
+		}
 		s.next[p] = sig.Offset + 1
 		s.signals[p] = append(s.signals[p], sig)
 		s.stats.Delivered++
