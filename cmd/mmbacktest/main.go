@@ -34,6 +34,7 @@ import (
 	"marketminer/internal/backtest"
 	"marketminer/internal/prof"
 	"marketminer/internal/report"
+	"marketminer/internal/screen"
 	"marketminer/internal/sweep"
 )
 
@@ -54,6 +55,12 @@ type options struct {
 	shard    string // "i/n" shard assignment
 	block    int    // pairs per sweep block (0 = default)
 	maxUnits int    // stop after this many units (0 = run to completion)
+
+	screenFrac   float64 // SSD pre-screening: keep this fraction of pairs (0 = off)
+	screenSSD    float64 // SSD pre-screening: absolute SSD cap (0 = off)
+	screenMin    int     // SSD pre-screening: minimum surviving pairs
+	screenStride int     // SSD pre-screening: path subsample stride
+	float32Lane  bool    // approximate float32 robust iteration lane
 }
 
 func main() {
@@ -71,6 +78,11 @@ func main() {
 	flag.StringVar(&o.shard, "shard", "0/1", "run shard i of n (requires -journal); merge shard journals with mmreport -merge")
 	flag.IntVar(&o.block, "block", 0, "pairs per sweep work-unit block (0 = default 128)")
 	flag.IntVar(&o.maxUnits, "max-units", 0, "execute at most N units this invocation, then checkpoint and exit (0 = no limit)")
+	flag.Float64Var(&o.screenFrac, "screen-frac", 0, "pre-screen pairs: keep this fraction with the smallest normalized-price SSD (0 = screening off)")
+	flag.Float64Var(&o.screenSSD, "screen-ssd", 0, "pre-screen pairs: drop pairs whose path SSD exceeds this absolute cap (0 = off)")
+	flag.IntVar(&o.screenMin, "screen-min", 0, "pre-screen pairs: never prune below this many surviving pairs")
+	flag.IntVar(&o.screenStride, "screen-stride", 1, "pre-screen pairs: subsample the price path at this stride")
+	flag.BoolVar(&o.float32Lane, "f32", false, "use the approximate float32 robust iteration lane (float64 polish; see DESIGN.md §8)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mmbacktest:", err)
@@ -100,6 +112,8 @@ func run(o options) error {
 	}
 	cfg := marketminer.SweepConfig(sc, o.seed)
 	cfg.Workers = o.workers
+	cfg.Screen = screen.Config{TopFrac: o.screenFrac, MaxSSD: o.screenSSD, MinKeep: o.screenMin, Stride: o.screenStride}
+	cfg.Float32 = o.float32Lane
 	if o.levels > 0 {
 		all := marketminer.ParamLevels()
 		if o.levels > len(all) {

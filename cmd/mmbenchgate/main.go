@@ -6,9 +6,15 @@
 // the warm-start hit rate are properties of the code and should never
 // collapse.
 //
+// It can also gate the BENCH_scaling.json parallel-efficiency curve:
+// pass -fresh-scaling/-committed-scaling and every non-oversubscribed
+// worker point's efficiency is held to the same min-frac ratio rule.
+//
 // Usage:
 //
 //	mmbenchgate -fresh /tmp/bench.json -committed BENCH_corr.json
+//	mmbenchgate -fresh /tmp/bench.json -committed BENCH_corr.json \
+//	    -fresh-scaling /tmp/scaling.json -committed-scaling BENCH_scaling.json
 package main
 
 import (
@@ -31,6 +37,27 @@ type gateReport struct {
 		PearsonSpeedup float64 `json:"pearson_speedup"`
 		FusedSpeedup   float64 `json:"fused_speedup"`
 	} `json:"engine"`
+	Batch struct {
+		RobustBatchedSpeedup float64 `json:"robust_batched_speedup"`
+		Float32Speedup       float64 `json:"float32_speedup"`
+		F32MaxAbsRhoDelta    float64 `json:"f32_max_abs_rho_delta"`
+	} `json:"batch"`
+	Screen struct {
+		PruneRatio      float64 `json:"screen_prune_ratio"`
+		PipelineSpeedup float64 `json:"pipeline_speedup"`
+	} `json:"screen"`
+}
+
+// scalingGateReport is the subset of the BENCH_scaling.json schema the
+// gate reads.
+type scalingGateReport struct {
+	Schema string `json:"schema"`
+	NumCPU int    `json:"numcpu"`
+	Points []struct {
+		Workers        int     `json:"workers"`
+		Efficiency     float64 `json:"efficiency"`
+		Oversubscribed bool    `json:"oversubscribed"`
+	} `json:"points"`
 }
 
 type gateConfig struct {
@@ -42,12 +69,19 @@ type gateConfig struct {
 	// warmTol is the absolute tolerance on the warm-start hit fraction,
 	// which is a near-deterministic property of the data and estimator.
 	warmTol float64
+	// f32Tol is the absolute ceiling on the float32 lane's measured
+	// max |Δρ| versus the exact path. Unlike the ratio checks this is a
+	// hard accuracy bound, not a host-relative one: the lane's contract
+	// is "approximate but bounded", and a delta past this ceiling means
+	// the polish or fallback logic broke.
+	f32Tol float64
 }
 
 type check struct {
 	name     string
 	fresh    float64
 	floor    float64
+	ceiling  bool // floor is actually an upper bound (accuracy checks)
 	ok       bool
 	skipNote string
 }
@@ -69,6 +103,27 @@ func gate(fresh, committed *gateReport, cfg gateConfig) ([]check, bool) {
 	ratio("fusion_speedup", fresh.FusionSpeedup, committed.FusionSpeedup)
 	ratio("engine.pearson_speedup", fresh.Engine.PearsonSpeedup, committed.Engine.PearsonSpeedup)
 	ratio("engine.fused_speedup", fresh.Engine.FusedSpeedup, committed.Engine.FusedSpeedup)
+	ratio("batch.robust_batched_speedup", fresh.Batch.RobustBatchedSpeedup, committed.Batch.RobustBatchedSpeedup)
+	ratio("batch.float32_speedup", fresh.Batch.Float32Speedup, committed.Batch.Float32Speedup)
+	ratio("screen.screen_prune_ratio", fresh.Screen.PruneRatio, committed.Screen.PruneRatio)
+	ratio("screen.pipeline_speedup", fresh.Screen.PipelineSpeedup, committed.Screen.PipelineSpeedup)
+
+	// The float32 accuracy delta is gated as an absolute ceiling — but
+	// only when the fresh run measured the lane at all (a zero delta
+	// with a zero float32 speedup means the section is absent).
+	f32 := check{
+		name:    "batch.f32_max_abs_rho_delta",
+		fresh:   fresh.Batch.F32MaxAbsRhoDelta,
+		floor:   cfg.f32Tol,
+		ceiling: true,
+	}
+	if fresh.Batch.Float32Speedup == 0 {
+		f32.ok = true
+		f32.skipNote = "not in fresh measurement"
+	} else {
+		f32.ok = f32.fresh <= f32.floor
+	}
+	checks = append(checks, f32)
 
 	wh := check{
 		name:  "robust.warm_hit_fraction",
@@ -90,6 +145,42 @@ func gate(fresh, committed *gateReport, cfg gateConfig) ([]check, bool) {
 	return checks, pass
 }
 
+// gateScaling holds each fresh non-oversubscribed worker point's
+// parallel efficiency to minFrac of the committed curve's efficiency
+// at the same worker count. Oversubscribed points (workers > NumCPU)
+// measure scheduler behaviour, not hardware scaling, and are skipped;
+// so are worker counts absent from the committed curve (host with a
+// different core count, or an older doubling-subsampled baseline).
+func gateScaling(fresh, committed *scalingGateReport, cfg gateConfig) []check {
+	byWorkers := make(map[int]float64)
+	for _, p := range committed.Points {
+		if !p.Oversubscribed {
+			byWorkers[p.Workers] = p.Efficiency
+		}
+	}
+	var checks []check
+	for _, p := range fresh.Points {
+		ck := check{
+			name:  fmt.Sprintf("scaling.efficiency[w=%d]", p.Workers),
+			fresh: p.Efficiency,
+		}
+		c, inBaseline := byWorkers[p.Workers]
+		switch {
+		case p.Oversubscribed:
+			ck.ok = true
+			ck.skipNote = "oversubscribed (workers > numcpu)"
+		case !inBaseline || c == 0:
+			ck.ok = true
+			ck.skipNote = "not in committed baseline"
+		default:
+			ck.floor = cfg.minFrac * c
+			ck.ok = ck.fresh >= ck.floor
+		}
+		checks = append(checks, ck)
+	}
+	return checks
+}
+
 func load(path string) (*gateReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -102,12 +193,47 @@ func load(path string) (*gateReport, error) {
 	return &r, nil
 }
 
+func loadScaling(path string) (*scalingGateReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r scalingGateReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// printChecks renders check lines and folds their verdicts into pass.
+func printChecks(checks []check, pass bool) bool {
+	for _, c := range checks {
+		rel, relFail := ">=", "< "
+		if c.ceiling {
+			rel, relFail = "<=", "> "
+		}
+		switch {
+		case c.skipNote != "":
+			fmt.Printf("  SKIP %-30s %s\n", c.name, c.skipNote)
+		case c.ok:
+			fmt.Printf("  PASS %-30s %.4g %s bound %.4g\n", c.name, c.fresh, rel, c.floor)
+		default:
+			fmt.Printf("  FAIL %-30s %.4g %s bound %.4g\n", c.name, c.fresh, relFail, c.floor)
+		}
+		pass = pass && c.ok
+	}
+	return pass
+}
+
 func main() {
 	var (
-		freshPath     = flag.String("fresh", "", "freshly measured bench JSON")
-		committedPath = flag.String("committed", "BENCH_corr.json", "committed baseline bench JSON")
-		minFrac       = flag.Float64("min-frac", 0.6, "fraction of each committed speedup the fresh run must retain")
-		warmTol       = flag.Float64("warm-tol", 0.02, "absolute tolerance on the warm-start hit fraction")
+		freshPath        = flag.String("fresh", "", "freshly measured bench JSON")
+		committedPath    = flag.String("committed", "BENCH_corr.json", "committed baseline bench JSON")
+		freshScaling     = flag.String("fresh-scaling", "", "freshly measured scaling JSON (optional)")
+		committedScaling = flag.String("committed-scaling", "BENCH_scaling.json", "committed baseline scaling JSON")
+		minFrac          = flag.Float64("min-frac", 0.6, "fraction of each committed speedup/efficiency the fresh run must retain")
+		warmTol          = flag.Float64("warm-tol", 0.02, "absolute tolerance on the warm-start hit fraction")
+		f32Tol           = flag.Float64("f32-tol", 1e-4, "absolute ceiling on the float32 lane's max |Δρ| vs the exact path")
 	)
 	flag.Parse()
 	if *freshPath == "" {
@@ -125,19 +251,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	checks, pass := gate(fresh, committed, gateConfig{minFrac: *minFrac, warmTol: *warmTol})
+	cfg := gateConfig{minFrac: *minFrac, warmTol: *warmTol, f32Tol: *f32Tol}
+	checks, pass := gate(fresh, committed, cfg)
 	fmt.Printf("bench gate: fresh %s (%s) vs committed %s (%s)\n",
 		*freshPath, fresh.Schema, *committedPath, committed.Schema)
-	for _, c := range checks {
-		switch {
-		case c.skipNote != "":
-			fmt.Printf("  SKIP %-28s %s\n", c.name, c.skipNote)
-		case c.ok:
-			fmt.Printf("  PASS %-28s %.4f >= floor %.4f\n", c.name, c.fresh, c.floor)
-		default:
-			fmt.Printf("  FAIL %-28s %.4f <  floor %.4f\n", c.name, c.fresh, c.floor)
+	pass = printChecks(checks, pass)
+
+	if *freshScaling != "" {
+		fs, err := loadScaling(*freshScaling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmbenchgate:", err)
+			os.Exit(2)
 		}
+		cs, err := loadScaling(*committedScaling)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmbenchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("scaling gate: fresh %s (%s, numcpu %d) vs committed %s (%s, numcpu %d)\n",
+			*freshScaling, fs.Schema, fs.NumCPU, *committedScaling, cs.Schema, cs.NumCPU)
+		pass = printChecks(gateScaling(fs, cs, cfg), pass)
 	}
+
 	if !pass {
 		fmt.Println("bench gate: FAIL — a structural performance property regressed")
 		os.Exit(1)

@@ -11,7 +11,18 @@ func report(fusion, warm, pearson, fused float64) *gateReport {
 	return &r
 }
 
-var cfg = gateConfig{minFrac: 0.6, warmTol: 0.02}
+// fullReport extends report with the v4 batch and screen sections.
+func fullReport(fusion, warm, pearson, fused, batched, f32, f32Delta, prune, pipeline float64) *gateReport {
+	r := report(fusion, warm, pearson, fused)
+	r.Batch.RobustBatchedSpeedup = batched
+	r.Batch.Float32Speedup = f32
+	r.Batch.F32MaxAbsRhoDelta = f32Delta
+	r.Screen.PruneRatio = prune
+	r.Screen.PipelineSpeedup = pipeline
+	return r
+}
+
+var cfg = gateConfig{minFrac: 0.6, warmTol: 0.02, f32Tol: 1e-4}
 
 func TestGatePassesWithinTolerance(t *testing.T) {
 	committed := report(2.9, 0.998, 1.8, 1.1)
@@ -55,7 +66,8 @@ func TestGateFailsOnEngineRegression(t *testing.T) {
 
 func TestGateSkipsFieldsAbsentFromBaseline(t *testing.T) {
 	// A v2 baseline carries no engine section; those checks must skip,
-	// not fail, so the gate works across a schema upgrade.
+	// not fail, so the gate works across a schema upgrade. The same
+	// applies to a v3 baseline with no batch/screen sections.
 	committed := report(2.9, 0.998, 0, 0)
 	fresh := report(2.9, 0.998, 1.8, 1.1)
 	checks, pass := gate(fresh, committed, cfg)
@@ -68,7 +80,98 @@ func TestGateSkipsFieldsAbsentFromBaseline(t *testing.T) {
 			skips++
 		}
 	}
-	if skips != 2 {
-		t.Fatalf("%d checks skipped, want 2 (engine speedups)", skips)
+	// engine pearson+fused, batch batched+f32 speedups, screen
+	// prune+pipeline, and the f32 accuracy delta (lane not measured).
+	if skips != 7 {
+		t.Fatalf("%d checks skipped, want 7: %+v", skips, checks)
 	}
+}
+
+func TestGateFailsOnBatchedSpeedupCollapse(t *testing.T) {
+	committed := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 2.2)
+	fresh := fullReport(2.9, 0.998, 1.8, 1.1, 0.5, 1.2, 4e-6, 0.5, 2.2)
+	if _, pass := gate(fresh, committed, cfg); pass {
+		t.Fatal("gate passed a robust_batched_speedup collapse")
+	}
+}
+
+func TestGateFailsOnPruneRatioCollapse(t *testing.T) {
+	committed := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 2.2)
+	fresh := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.1, 2.2)
+	if _, pass := gate(fresh, committed, cfg); pass {
+		t.Fatal("gate passed a screen_prune_ratio collapse")
+	}
+}
+
+func TestGateFailsOnPipelineSpeedupCollapse(t *testing.T) {
+	committed := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 2.2)
+	fresh := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 1.0)
+	if _, pass := gate(fresh, committed, cfg); pass {
+		t.Fatal("gate passed a pipeline_speedup collapse")
+	}
+}
+
+func TestGateFailsOnF32AccuracyBreach(t *testing.T) {
+	committed := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 2.2)
+	fresh := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 5e-4, 0.5, 2.2)
+	checks, pass := gate(fresh, committed, cfg)
+	if pass {
+		t.Fatal("gate passed an f32 accuracy breach")
+	}
+	for _, c := range checks {
+		if c.name == "batch.f32_max_abs_rho_delta" && c.ok {
+			t.Fatal("f32 accuracy check did not fail")
+		}
+	}
+}
+
+func scalingFixture(numCPU int, effs []float64, oversub []bool) *scalingGateReport {
+	r := &scalingGateReport{Schema: "marketminer/bench_scaling/v2", NumCPU: numCPU}
+	for i, e := range effs {
+		r.Points = append(r.Points, struct {
+			Workers        int     `json:"workers"`
+			Efficiency     float64 `json:"efficiency"`
+			Oversubscribed bool    `json:"oversubscribed"`
+		}{Workers: i + 1, Efficiency: e, Oversubscribed: oversub[i]})
+	}
+	return r
+}
+
+func TestGateScalingSkipsOversubscribedAndMissing(t *testing.T) {
+	committed := scalingFixture(2, []float64{1.0, 0.9}, []bool{false, false})
+	// Fresh host has 2 real cores and two oversubscribed tail points
+	// whose efficiency is necessarily poor; points 3-4 are absent from
+	// the committed curve anyway.
+	fresh := scalingFixture(2, []float64{1.0, 0.85, 0.4, 0.3}, []bool{false, false, true, true})
+	checks := printableOK(t, gateScaling(fresh, committed, cfg))
+	if n := len(checks); n != 4 {
+		t.Fatalf("%d checks, want 4", n)
+	}
+	for _, c := range checks[2:] {
+		if c.skipNote == "" {
+			t.Fatalf("oversubscribed point %s was gated: %+v", c.name, c)
+		}
+	}
+}
+
+func TestGateScalingFailsOnEfficiencyCollapse(t *testing.T) {
+	committed := scalingFixture(2, []float64{1.0, 0.9}, []bool{false, false})
+	fresh := scalingFixture(2, []float64{1.0, 0.3}, []bool{false, false})
+	pass := true
+	for _, c := range gateScaling(fresh, committed, cfg) {
+		pass = pass && c.ok
+	}
+	if pass {
+		t.Fatal("scaling gate passed a 2-worker efficiency collapse")
+	}
+}
+
+func printableOK(t *testing.T, checks []check) []check {
+	t.Helper()
+	for _, c := range checks {
+		if !c.ok {
+			t.Fatalf("check %s failed: %+v", c.name, c)
+		}
+	}
+	return checks
 }

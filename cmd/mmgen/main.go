@@ -24,7 +24,7 @@ func main() {
 	var (
 		out      = flag.String("out", "taq.csv", "output CSV path (one file, all days)")
 		days     = flag.Int("days", 1, "trading days to generate")
-		stocks   = flag.Int("stocks", 61, "universe size (max 61)")
+		stocks   = flag.Int("stocks", 61, "universe size (2..1024; past 61 uses synthetic tickers)")
 		seed     = flag.Int64("seed", 20080301, "random seed")
 		rate     = flag.Float64("rate", 0.5, "quote arrivals per stock per second")
 		contam   = flag.Float64("contamination", 0.004, "bad-tick probability")
@@ -40,10 +40,10 @@ func main() {
 }
 
 func run(out string, days, stocks int, seed int64, rate, contam, breakdn float64, sample bool, sampleSz int) error {
-	if stocks < 2 || stocks > 61 {
-		return fmt.Errorf("stocks must be in [2, 61], got %d", stocks)
+	if stocks < 2 || stocks > 1024 {
+		return fmt.Errorf("stocks must be in [2, 1024], got %d", stocks)
 	}
-	uni, err := taq.NewUniverse(taq.DefaultSymbols()[:stocks])
+	uni, err := taq.NewUniverse(taq.SyntheticSymbols(stocks))
 	if err != nil {
 		return err
 	}

@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		stocks      = flag.Int("stocks", 10, "universe size (max 61)")
+		stocks      = flag.Int("stocks", 10, "universe size (2..1024; past 61 uses synthetic tickers)")
 		days        = flag.Int("days", 2, "trading days")
 		levels      = flag.Int("levels", 2, "parameter levels (max 14)")
 		seed        = flag.Int64("seed", 20080301, "data seed")
@@ -53,13 +53,13 @@ func main() {
 }
 
 func run(stocks, days, levels int, seed int64, workers int, sameM bool, benchJSON, scalingJSON, cpuProfile, memProfile string) error {
-	if stocks < 2 || stocks > 61 {
-		return fmt.Errorf("stocks must be in [2, 61]")
+	if stocks < 2 || stocks > 1024 {
+		return fmt.Errorf("stocks must be in [2, 1024]")
 	}
 	if levels < 1 || levels > 14 {
 		return fmt.Errorf("levels must be in [1, 14]")
 	}
-	uni, err := taq.NewUniverse(taq.DefaultSymbols()[:stocks])
+	uni, err := taq.NewUniverse(taq.SyntheticSymbols(stocks))
 	if err != nil {
 		return err
 	}

@@ -39,19 +39,27 @@ func gitRevision() string {
 	return strings.TrimSpace(string(out))
 }
 
-// scalingPoint is one worker count on the scaling curve.
+// scalingPoint is one worker count on the scaling curve. Points with
+// Workers > NumCPU are marked Oversubscribed: they exist so the curve
+// is complete even on constrained hosts (a 1-core container still
+// produces a 1..4 curve), but their speedup/efficiency measure
+// scheduler behaviour, not hardware scaling, and consumers such as
+// mmbenchgate must skip them when judging parallel efficiency.
 type scalingPoint struct {
-	Workers    int     `json:"workers"`
-	NsPerOp    int64   `json:"ns_per_op"`
-	Speedup    float64 `json:"speedup"`    // vs the 1-worker point
-	Efficiency float64 `json:"efficiency"` // speedup / workers
+	Workers        int     `json:"workers"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	Speedup        float64 `json:"speedup"`    // vs the 1-worker point
+	Efficiency     float64 `json:"efficiency"` // speedup / workers
+	Oversubscribed bool    `json:"oversubscribed,omitempty"`
 }
 
 // scalingReport is the BENCH_scaling.json schema: the matrix engine's
-// strong-scaling curve from 1 to NumCPU workers on a fixed day
-// workload, with enough environment detail (cpu, revision, gomaxprocs)
-// to interpret the numbers later. On a single-core host the curve
-// degenerates to one point — recorded honestly rather than simulated.
+// strong-scaling curve over every worker count from 1 up to
+// max(4, NumCPU) on a fixed day workload, with enough environment
+// detail (cpu, numcpu, revision, gomaxprocs) to interpret the numbers
+// later. NumCPU documents the host core count so a curve measured on a
+// 1-core container is not mistaken for a flat-scaling regression; the
+// points beyond NumCPU are flagged oversubscribed.
 type scalingReport struct {
 	Schema      string         `json:"schema"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
@@ -63,14 +71,21 @@ type scalingReport struct {
 	Points      []scalingPoint `json:"points"`
 }
 
-// scalingWorkerCounts returns 1, 2, 4, ... doubling up to NumCPU, with
-// NumCPU always the last point.
+// scalingWorkerCounts returns every worker count 1..max(4, numCPU):
+// the full curve, not a doubling subsample, so efficiency cliffs
+// between powers of two are visible, and never fewer than four points
+// so constrained hosts still produce a curve (the tail is just marked
+// oversubscribed).
 func scalingWorkerCounts(numCPU int) []int {
-	var counts []int
-	for w := 1; w < numCPU; w *= 2 {
+	maxW := numCPU
+	if maxW < 4 {
+		maxW = 4
+	}
+	counts := make([]int, 0, maxW)
+	for w := 1; w <= maxW; w++ {
 		counts = append(counts, w)
 	}
-	return append(counts, numCPU)
+	return counts
 }
 
 // writeScalingJSON benchmarks the full three-treatment matrix pass over
@@ -78,7 +93,7 @@ func scalingWorkerCounts(numCPU int) []int {
 func writeScalingJSON(path string, dd *backtest.DayData) error {
 	numCPU := runtime.NumCPU()
 	rep := scalingReport{
-		Schema:      "marketminer/bench_scaling/v1",
+		Schema:      "marketminer/bench_scaling/v2",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      numCPU,
 		CPUModel:    cpuModel(),
@@ -98,7 +113,7 @@ func writeScalingJSON(path string, dd *backtest.DayData) error {
 				}
 			}
 		})
-		pt := scalingPoint{Workers: w, NsPerOp: r.NsPerOp()}
+		pt := scalingPoint{Workers: w, NsPerOp: r.NsPerOp(), Oversubscribed: w > numCPU}
 		if baseNs == 0 {
 			baseNs = pt.NsPerOp
 		}

@@ -26,6 +26,7 @@ import (
 	"marketminer/internal/metrics"
 	"marketminer/internal/portfolio"
 	"marketminer/internal/sched"
+	"marketminer/internal/screen"
 	"marketminer/internal/series"
 	"marketminer/internal/strategy"
 	"marketminer/internal/taq"
@@ -48,6 +49,16 @@ type Config struct {
 	// frictionless setting. Half-spreads are taken from the market
 	// configuration's HalfSpreadBps.
 	Costs portfolio.CostModel
+	// Screen configures the normalized-price SSD pre-screening stage:
+	// each day, pairs whose price paths diverge are pruned before any
+	// correlation work, and pruned pairs simply record no trades. The
+	// zero value disables screening (bit-identical to the classic
+	// full-triangle sweep); when enabled the contract is the ≥95%
+	// trade-PnL recall gate, not bit-identity.
+	Screen screen.Config
+	// Float32 opts the robust correlation engine into the approximate
+	// single-precision iteration lane (see corr.EngineConfig.Float32).
+	Float32 bool
 	// Workers bounds parallelism; ≤ 0 means GOMAXPROCS.
 	Workers int
 	// Progress, when non-nil, receives a line per completed day.
@@ -184,6 +195,9 @@ func (c Config) Validate() error {
 	if err := c.Costs.Validate(); err != nil {
 		return err
 	}
+	if err := c.Screen.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -240,6 +254,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	pool := sched.New(cfg.workers())
 	pairs := taq.AllPairs(uni.Len())
+	allIDs := make([]int, numPairs)
+	for i := range allIDs {
+		allIDs[i] = i
+	}
 
 	// Group levels by window M so each (Ctype, M) series is computed
 	// exactly once per day — the paper's "overcoming the main
@@ -257,23 +275,52 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Pre-screening: prune the pair triangle on the normalized
+		// price paths before any correlation work. Pruned pairs record
+		// empty (non-nil) return sets for every parameter set, so the
+		// result shape is unchanged.
+		runIDs := allIDs
+		if cfg.Screen.Enabled() {
+			keep, _, err := screen.Select(cfg.Screen, dd.Returns)
+			if err != nil {
+				return nil, err
+			}
+			runIDs = keep
+			kept := make([]bool, numPairs)
+			for _, pid := range keep {
+				kept[pid] = true
+			}
+			for pid := 0; pid < numPairs; pid++ {
+				if kept[pid] {
+					continue
+				}
+				for k := range res.Series[pid] {
+					res.Series[pid][k].Daily[d] = TradeReturns(cfg, nil)
+				}
+			}
+		}
 		var dayTrades int64
 		for m, levelIdxs := range byM {
 			// One engine pass per (M): the robust treatments share a
 			// single warm-started Maronna fit per (pair, window), so
 			// Maronna + Combined cost one M-estimation, not two.
-			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: cfg.workers()}, types, dd.Returns)
+			ec := corr.EngineConfig{M: m, Workers: cfg.workers(), Float32: cfg.Float32}
+			if cfg.Screen.Enabled() {
+				ec.Pairs = runIDs
+			}
+			css, err := corr.ComputeSeriesMulti(ec, types, dd.Returns)
 			if err != nil {
 				return nil, err
 			}
 			for ti, ct := range types {
 				cs := css[ti]
 				ti, levelIdxs := ti, levelIdxs
-				err = pool.Map(ctx, numPairs, func(ctx context.Context, pid int) error {
+				err = pool.Map(ctx, len(runIDs), func(ctx context.Context, i int) error {
+					pid := runIDs[i]
 					pr := pairs[pid]
 					for _, li := range levelIdxs {
 						p := levels[li].WithType(ct)
-						trades, err := strategy.RunDay(p, cs.Corr[pid], cs.FirstS, dd.PG, pr.I, pr.J, d)
+						trades, err := strategy.RunDay(p, cs.Corr[i], cs.FirstS, dd.PG, pr.I, pr.J, d)
 						if err != nil {
 							return err
 						}

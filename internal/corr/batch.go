@@ -1,0 +1,413 @@
+package corr
+
+import (
+	"math"
+)
+
+// The batched Maronna kernel. The per-pair kernel (MaronnaEstimator's
+// iterate/FitScratchShared) advances one pair's fixed point at a time:
+// every window is a self-contained call chain whose state lives in
+// locals and whose control flow (warm attempt → strict failure → cold
+// restart) is expressed as early returns. That shape is convenient but
+// hostile to a large pair triangle: the call overhead, the per-call
+// weight reset and the one-lane-at-a-time traversal leave the CPU no
+// way to overlap independent pairs.
+//
+// pairBatch lays the same iteration out as struct-of-arrays lanes: one
+// lane per pair, the per-lane scalars (location, scatter, Anderson
+// history, iteration budget, warm/cold mode) in parallel float64
+// slices, and the per-observation weight rows carved out of one flat
+// backing array. A sweep applies exactly one fixed-point iteration to
+// every active lane; lanes that finish (converged, collapsed, or out
+// of budget) drop out via swap-to-end compaction so late-converging
+// pairs do not serialize the batch.
+//
+// Bit-identity contract: a lane executes the reference per-pair
+// arithmetic — the same expressions, in the same order, on the same
+// values — as MaronnaEstimator.FitScratchShared. Interleaving lanes is
+// bit-neutral because no lane reads another lane's state; the only
+// behavioural difference is scheduling. Two deliberate non-arithmetic
+// deviations, both value-preserving:
+//
+//   - the weight row is not eagerly reset to all-ones per window; it
+//     is filled with ones at finalization only when the accepted run
+//     performed no scatter pass (degenerate exits), because any scatter
+//     pass overwrites every entry anyway;
+//   - a strict (warm) failure restarts the lane cold in place instead
+//     of unwinding a call stack.
+//
+// TestMatrixEngineMatchesReference and the degenerate-batch tests are
+// the gate: per-pair results must be bit-identical to running each
+// pair alone through the reference.
+type pairBatch struct {
+	k, k2   float64
+	tol     float64
+	maxIter int
+
+	m       int // window length all lanes share
+	laneCap int
+	active  int
+
+	// Per-lane window views and weight rows (swapped with their lane).
+	xw, yw [][]float64
+	wrow   [][]float64
+	wback  []float64 // flat backing for the weight rows
+
+	// Per-lane iteration state, struct-of-arrays.
+	t1, t2        []float64
+	v11, v22, v12 []float64
+	pg, pf        [][5]float64 // Anderson(1) history
+	havePrev      []bool
+	strict        []bool // current run is the warm strict attempt
+	attempted     []bool // a warm attempt was made for this window
+	wFresh        []bool // weight row written by the accepted run
+	iters         []int
+	tag           []int // caller's lane identity (stable across compaction)
+
+	// Shared cold-start initialisers captured at add time (used again
+	// if a strict run fails and the lane restarts cold).
+	ix, iy   []ColdInit
+	haveInit []bool
+
+	// Results indexed by tag, valid after run() until the next begin().
+	fits []Fit
+	wOut [][]float64 // final weight rows, aliases into wback
+
+	sbuf []float64 // median/MAD selection scratch for inline cold inits
+
+	f32lane *pairBatch32 // lazily-built float32 iteration lane
+}
+
+// newPairBatch builds a batch kernel for the given (validated)
+// estimator configuration. The batch grows its lane capacity on
+// demand and is reused across tiles and windows by one worker.
+func newPairBatch(cfg MaronnaConfig) *pairBatch {
+	e := NewMaronnaEstimator(cfg) // reuse the validation defaults
+	c := e.Config()
+	return &pairBatch{k: c.K, k2: c.K * c.K, tol: c.Tol, maxIter: c.MaxIter}
+}
+
+// begin prepares the batch for windows of length m with up to lanes
+// concurrent lanes. Calling it with previously-seen sizes performs no
+// allocation; results of the previous run remain readable until the
+// first add.
+func (b *pairBatch) begin(m, lanes int) {
+	if m != b.m || lanes > b.laneCap {
+		b.grow(m, lanes)
+	}
+	b.active = 0
+}
+
+func (b *pairBatch) grow(m, lanes int) {
+	if lanes < b.laneCap {
+		lanes = b.laneCap
+	}
+	b.m = m
+	b.laneCap = lanes
+	b.xw = make([][]float64, lanes)
+	b.yw = make([][]float64, lanes)
+	b.wrow = make([][]float64, lanes)
+	b.wback = make([]float64, lanes*m)
+	b.t1 = make([]float64, lanes)
+	b.t2 = make([]float64, lanes)
+	b.v11 = make([]float64, lanes)
+	b.v22 = make([]float64, lanes)
+	b.v12 = make([]float64, lanes)
+	b.pg = make([][5]float64, lanes)
+	b.pf = make([][5]float64, lanes)
+	b.havePrev = make([]bool, lanes)
+	b.strict = make([]bool, lanes)
+	b.attempted = make([]bool, lanes)
+	b.wFresh = make([]bool, lanes)
+	b.iters = make([]int, lanes)
+	b.tag = make([]int, lanes)
+	b.ix = make([]ColdInit, lanes)
+	b.iy = make([]ColdInit, lanes)
+	b.haveInit = make([]bool, lanes)
+	b.fits = make([]Fit, lanes)
+	b.wOut = make([][]float64, lanes)
+	b.sbuf = make([]float64, m)
+}
+
+// add enqueues one window as a lane. x and y must have length m (the
+// begin length); tag identifies the lane to the caller (0 ≤ tag <
+// lanes) and indexes the fits/wOut result slots. warm, ix, iy carry
+// the same meaning as in FitScratchShared. Lanes that finish without
+// iterating (degenerate cold inits) resolve immediately.
+func (b *pairBatch) add(x, y []float64, warm *Fit, ix, iy *ColdInit, tag int, st *RobustStats) {
+	l := b.active
+	b.xw[l], b.yw[l] = x, y
+	b.tag[l] = tag
+	// The weight row is carved out by tag, not by lane slot: a lane
+	// that resolves during add frees its slot for the next add, and a
+	// slot-indexed row would let that later lane overwrite the weights
+	// already published under the finished lane's tag.
+	b.wrow[l] = b.wback[tag*b.m : (tag+1)*b.m : (tag+1)*b.m]
+	b.wFresh[l] = false
+	b.iters[l] = 0
+	b.havePrev[l] = false
+	b.attempted[l] = warm != nil && warm.Valid
+	if ix != nil && iy != nil {
+		b.ix[l], b.iy[l] = *ix, *iy
+		b.haveInit[l] = true
+	} else {
+		b.haveInit[l] = false
+	}
+	b.active = l + 1
+	if b.attempted[l] {
+		// Strict warm attempt from the previous window's fixed point.
+		b.strict[l] = true
+		b.t1[l], b.t2[l] = warm.T1, warm.T2
+		b.v11[l], b.v22[l], b.v12[l] = warm.V11, warm.V22, warm.V12
+		return
+	}
+	b.startCold(l, st)
+}
+
+// startCold (re)initialises lane l from the robust univariate cold
+// start, finalizing immediately when a series is genuinely constant
+// (no correlation defined — the reference's empty Fit). It reports
+// whether the lane is still active.
+func (b *pairBatch) startCold(l int, st *RobustStats) bool {
+	b.strict[l] = false
+	b.wFresh[l] = false
+	b.iters[l] = 0
+	b.havePrev[l] = false
+	var i1, i2 ColdInit
+	if b.haveInit[l] {
+		i1, i2 = b.ix[l], b.iy[l]
+	} else {
+		i1 = ColdInitOf(b.sbuf, b.xw[l])
+		i2 = ColdInitOf(b.sbuf, b.yw[l])
+	}
+	if i1.Scale == 0 || i2.Scale == 0 {
+		return b.finalize(l, Fit{}, st)
+	}
+	b.t1[l], b.t2[l] = i1.Med, i2.Med
+	b.v11[l], b.v22[l], b.v12[l] = i1.Scale*i1.Scale, i2.Scale*i2.Scale, 0
+	return true
+}
+
+// run sweeps the active set until every lane has finished. One sweep
+// applies one fixed-point iteration to each active lane; st (when
+// non-nil) records the active-set telemetry that keeps the "where do
+// the cycles go" profile measurable after batching.
+func (b *pairBatch) run(st *RobustStats) {
+	for b.active > 0 {
+		if st != nil {
+			st.recordSweep(b.active)
+		}
+		l := 0
+		for l < b.active {
+			if b.step(l, st) {
+				l++
+			}
+		}
+	}
+}
+
+// step advances lane l by one fixed-point iteration, transcribing one
+// trip of the reference iterate loop. It reports whether the lane is
+// still active at position l (finished lanes compact another lane into
+// l, so the caller must not advance).
+func (b *pairBatch) step(l int, st *RobustStats) bool {
+	v11, v22, v12 := b.v11[l], b.v22[l], b.v12[l]
+	det := v11*v22 - v12*v12
+	if det <= 0 || v11 <= 0 || v22 <= 0 {
+		// Scatter collapsed: strict runs rerun cold, cold runs accept
+		// the current state (the reference's break).
+		if b.strict[l] {
+			return b.startCold(l, st)
+		}
+		return b.finish(l, false, st)
+	}
+	b.iters[l]++
+	i11 := v22 / det
+	i22 := v11 / det
+	i12 := -v12 / det
+
+	x, y := b.xw[l], b.yw[l]
+	t1, t2 := b.t1[l], b.t2[l]
+	sw, sx, sy := maronnaLocation(x, y, t1, t2, i11, i22, i12, b.k, b.k2)
+	if sw == 0 {
+		if b.strict[l] {
+			return b.startCold(l, st)
+		}
+		return b.finish(l, false, st)
+	}
+	t1n, t2n := sx/sw, sy/sw
+
+	n11, n22, n12 := maronnaScatter(x, y, b.wrow[l], t1n, t2n, i11, i22, i12, b.k2)
+	b.wFresh[l] = true
+	fn := float64(len(x))
+	n11 /= fn
+	n22 /= fn
+	n12 /= fn
+
+	den := math.Abs(v11) + math.Abs(v22) + math.Abs(v12)
+	num := math.Abs(n11-v11) + math.Abs(n22-v22) + math.Abs(n12-v12)
+	g := [5]float64{t1n, t2n, n11, n22, n12}
+	f := [5]float64{t1n - t1, t2n - t2, n11 - v11, n22 - v22, n12 - v12}
+	t1, t2 = t1n, t2n
+	v11, v22, v12 = n11, n22, n12
+	if den > 0 && num/den < b.tol {
+		b.t1[l], b.t2[l] = t1, t2
+		b.v11[l], b.v22[l], b.v12[l] = v11, v22, v12
+		if b.strict[l] && (v11 <= 0 || v22 <= 0) {
+			// The reference reports a converged-but-degenerate warm fit
+			// as a warm failure; rerun cold like FitScratchShared does.
+			return b.startCold(l, st)
+		}
+		return b.finish(l, true, st)
+	}
+
+	// Anderson(1) extrapolation from the last two plain steps.
+	if b.havePrev[l] {
+		pf := &b.pf[l]
+		var fd, dd float64
+		for c := 0; c < 5; c++ {
+			d := f[c] - pf[c]
+			fd += f[c] * d
+			dd += d * d
+		}
+		if dd > 0 {
+			if theta := fd / dd; math.Abs(theta) < 16 {
+				pg := &b.pg[l]
+				a1 := t1n - theta*(t1n-pg[0])
+				a2 := t2n - theta*(t2n-pg[1])
+				a11 := n11 - theta*(n11-pg[2])
+				a22 := n22 - theta*(n22-pg[3])
+				a12 := n12 - theta*(n12-pg[4])
+				// Safeguard: extrapolate only onto a usable scatter.
+				if a11 > 0 && a22 > 0 && a11*a22-a12*a12 > 0 {
+					t1, t2 = a1, a2
+					v11, v22, v12 = a11, a22, a12
+				}
+			}
+		}
+	}
+	b.pg[l] = g
+	b.pf[l] = f
+	b.havePrev[l] = true
+	b.t1[l], b.t2[l] = t1, t2
+	b.v11[l], b.v22[l], b.v12[l] = v11, v22, v12
+
+	if b.iters[l] >= b.maxIter {
+		// Iteration budget exhausted without convergence.
+		if b.strict[l] {
+			return b.startCold(l, st)
+		}
+		return b.finish(l, false, st)
+	}
+	return true
+}
+
+// finish builds lane l's Fit exactly as the reference does after its
+// loop exits and finalizes the lane.
+func (b *pairBatch) finish(l int, converged bool, st *RobustStats) bool {
+	f := Fit{
+		T1: b.t1[l], T2: b.t2[l],
+		V11: b.v11[l], V22: b.v22[l], V12: b.v12[l],
+		Iters: b.iters[l], Converged: converged,
+	}
+	if f.V11 > 0 && f.V22 > 0 {
+		f.Rho = clampCorr(f.V12 / math.Sqrt(f.V11*f.V22))
+		// Only cleanly converged scatters seed the next window: a
+		// collapsed or budget-exhausted state would poison the chain.
+		f.Valid = converged && f.V11*f.V22-f.V12*f.V12 > 0
+		if b.strict[l] {
+			f.Seeded = true
+		}
+	}
+	return b.finalize(l, f, st)
+}
+
+// finalize publishes lane l's result under its tag, restores the
+// all-ones weight row when no scatter pass of the accepted run wrote
+// it, records the window statistics, and compacts the lane out of the
+// active set. It always returns false (lane no longer at position l).
+func (b *pairBatch) finalize(l int, f Fit, st *RobustStats) bool {
+	if !b.wFresh[l] {
+		w := b.wrow[l]
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	tag := b.tag[l]
+	b.fits[tag] = f
+	b.wOut[tag] = b.wrow[l]
+	if st != nil {
+		st.record(f, b.attempted[l])
+	}
+	last := b.active - 1
+	if l != last {
+		b.swapLanes(l, last)
+	}
+	b.active = last
+	return false
+}
+
+// swapLanes exchanges every per-lane slot of lanes a and b.
+func (b *pairBatch) swapLanes(i, j int) {
+	b.xw[i], b.xw[j] = b.xw[j], b.xw[i]
+	b.yw[i], b.yw[j] = b.yw[j], b.yw[i]
+	b.wrow[i], b.wrow[j] = b.wrow[j], b.wrow[i]
+	b.t1[i], b.t1[j] = b.t1[j], b.t1[i]
+	b.t2[i], b.t2[j] = b.t2[j], b.t2[i]
+	b.v11[i], b.v11[j] = b.v11[j], b.v11[i]
+	b.v22[i], b.v22[j] = b.v22[j], b.v22[i]
+	b.v12[i], b.v12[j] = b.v12[j], b.v12[i]
+	b.pg[i], b.pg[j] = b.pg[j], b.pg[i]
+	b.pf[i], b.pf[j] = b.pf[j], b.pf[i]
+	b.havePrev[i], b.havePrev[j] = b.havePrev[j], b.havePrev[i]
+	b.strict[i], b.strict[j] = b.strict[j], b.strict[i]
+	b.attempted[i], b.attempted[j] = b.attempted[j], b.attempted[i]
+	b.wFresh[i], b.wFresh[j] = b.wFresh[j], b.wFresh[i]
+	b.iters[i], b.iters[j] = b.iters[j], b.iters[i]
+	b.tag[i], b.tag[j] = b.tag[j], b.tag[i]
+	b.ix[i], b.ix[j] = b.ix[j], b.ix[i]
+	b.iy[i], b.iy[j] = b.iy[j], b.iy[i]
+	b.haveInit[i], b.haveInit[j] = b.haveInit[j], b.haveInit[i]
+}
+
+// maronnaLocation is the reference location pass (Huber w1 weights on
+// the Mahalanobis distance) as a free function with the bounds checks
+// hoisted. The arithmetic is expression-for-expression the loop inside
+// MaronnaEstimator.iterate, which stays frozen as the verification
+// baseline; same inputs produce bit-identical sums.
+func maronnaLocation(x, y []float64, t1, t2, i11, i22, i12, k, k2 float64) (sw, sx, sy float64) {
+	y = y[:len(x)]
+	for i := range x {
+		dx, dy := x[i]-t1, y[i]-t2
+		d2 := dx*dx*i11 + 2*dx*dy*i12 + dy*dy*i22
+		w := 1.0
+		if d2 > k2 {
+			w = k / math.Sqrt(d2)
+		}
+		sw += w
+		sx += w * x[i]
+		sy += w * y[i]
+	}
+	return sw, sx, sy
+}
+
+// maronnaScatter is the reference scatter pass (Huber w2 weights),
+// recording the per-observation weights into wout. See
+// maronnaLocation for the sharing rationale.
+func maronnaScatter(x, y, wout []float64, t1, t2, i11, i22, i12, k2 float64) (n11, n22, n12 float64) {
+	y = y[:len(x)]
+	wout = wout[:len(x)]
+	for i := range x {
+		dx, dy := x[i]-t1, y[i]-t2
+		d2 := dx*dx*i11 + 2*dx*dy*i12 + dy*dy*i22
+		w := 1.0
+		if d2 > k2 {
+			w = k2 / d2
+		}
+		wout[i] = w
+		n11 += w * dx * dx
+		n22 += w * dy * dy
+		n12 += w * dx * dy
+	}
+	return n11, n22, n12
+}

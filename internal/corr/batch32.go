@@ -1,0 +1,496 @@
+package corr
+
+import (
+	"math"
+)
+
+// The float32 iteration lane. Profiling puts the robust day almost
+// entirely inside the Maronna fixed point, and the fixed point's cost
+// is its iteration count: the map contracts linearly, so driving the
+// relative scatter residual to the float64 tolerance (1e-8) costs many
+// more sweeps than driving it to what single precision can resolve
+// (~1e-5, a few ULPs of the scatter entries). The lane exploits that:
+// iterate in float32 until the float32 tolerance is met, then polish
+// with a fixed, small number of exact float64 iterations so the
+// reported fixed point carries full-precision arithmetic. Accuracy is
+// bounded by the polished residual; TestFloat32LaneAccuracy and the
+// f32_max_abs_rho_delta bench field measure it against the exact path.
+//
+// Robustness contract: single precision is allowed to give up, never
+// to degrade. Any degeneracy on the float32 side — scatter collapse or
+// iteration-budget exhaustion on a cold run, a cold initialiser that
+// under/overflows float32, NaN contamination, or a polish step that
+// collapses — abandons the lane to the exact float64 path
+// (FitScratchShared with the same warm/cold inputs), so the worst case
+// is the exact answer at the exact cost. Warm (strict) float32
+// failures restart cold in float32 first, mirroring the exact kernel's
+// warm→cold ladder.
+//
+// pairBatch32 rides on a parent pairBatch: results (fits, weight rows)
+// are published through the parent's tag-indexed slots so the tile
+// harvest loop is lane-agnostic.
+type pairBatch32 struct {
+	parent *pairBatch
+
+	k, k2   float32
+	tol     float32 // float32-achievable convergence tolerance
+	maxIter int
+	polish  int // exact float64 polish iterations after convergence
+
+	est *MaronnaEstimator // exact-path fallback
+	sc  *Scratch          // fallback scratch
+
+	m       int
+	laneCap int
+	active  int
+
+	x32, y32 [][]float32 // single-precision window views
+	x64, y64 [][]float64 // exact windows for polish/fallback/weights
+	wrow     [][]float64 // per-lane float64 weight rows
+	wback    []float64
+
+	t1, t2        []float32
+	v11, v22, v12 []float32
+	pg, pf        [][5]float32
+	havePrev      []bool
+	strict        []bool
+	attempted     []bool
+	wFresh        []bool
+	iters         []int
+	tag           []int
+	ix, iy        []ColdInit
+	haveInit      []bool
+	warm          []Fit // warm fit copies for the exact fallback
+}
+
+// float32Tol is the convergence tolerance of the single-precision
+// sweeps: ~100 ULPs of a unit-scale scatter, comfortably above float32
+// rounding noise yet tight enough that the fixed float64 polish
+// (contraction ≈ 0.4/step plus Anderson-free quadratic-ish tail)
+// lands within ~1e-6 of the exact fixed point.
+const float32Tol = 1e-5
+
+// float32PolishIters is the fixed number of exact iterations run after
+// float32 convergence.
+const float32PolishIters = 2
+
+func newPairBatch32(parent *pairBatch, cfg MaronnaConfig) *pairBatch32 {
+	e := NewMaronnaEstimator(cfg)
+	c := e.Config()
+	tol := float32(c.Tol)
+	if tol < float32Tol {
+		tol = float32Tol
+	}
+	return &pairBatch32{
+		parent:  parent,
+		k:       float32(c.K),
+		k2:      float32(c.K * c.K),
+		tol:     tol,
+		maxIter: c.MaxIter,
+		polish:  float32PolishIters,
+		est:     e,
+	}
+}
+
+// lane32 returns (lazily building) the batch's float32 lane.
+func (b *pairBatch) lane32(cfg MaronnaConfig) *pairBatch32 {
+	if b.f32lane == nil {
+		b.f32lane = newPairBatch32(b, cfg)
+	}
+	return b.f32lane
+}
+
+// begin prepares the lane (and its parent's result slots) for windows
+// of length m with up to lanes lanes.
+func (b32 *pairBatch32) begin(m, lanes int) {
+	b32.parent.begin(m, lanes)
+	if m != b32.m || lanes > b32.laneCap {
+		b32.grow(m, lanes)
+	}
+	b32.active = 0
+}
+
+func (b32 *pairBatch32) grow(m, lanes int) {
+	if lanes < b32.laneCap {
+		lanes = b32.laneCap
+	}
+	b32.m = m
+	b32.laneCap = lanes
+	b32.x32 = make([][]float32, lanes)
+	b32.y32 = make([][]float32, lanes)
+	b32.x64 = make([][]float64, lanes)
+	b32.y64 = make([][]float64, lanes)
+	b32.wrow = make([][]float64, lanes)
+	b32.wback = make([]float64, lanes*m)
+	b32.t1 = make([]float32, lanes)
+	b32.t2 = make([]float32, lanes)
+	b32.v11 = make([]float32, lanes)
+	b32.v22 = make([]float32, lanes)
+	b32.v12 = make([]float32, lanes)
+	b32.pg = make([][5]float32, lanes)
+	b32.pf = make([][5]float32, lanes)
+	b32.havePrev = make([]bool, lanes)
+	b32.strict = make([]bool, lanes)
+	b32.attempted = make([]bool, lanes)
+	b32.wFresh = make([]bool, lanes)
+	b32.iters = make([]int, lanes)
+	b32.tag = make([]int, lanes)
+	b32.ix = make([]ColdInit, lanes)
+	b32.iy = make([]ColdInit, lanes)
+	b32.haveInit = make([]bool, lanes)
+	b32.warm = make([]Fit, lanes)
+}
+
+// add enqueues one window. x32/y32 must be the single-precision
+// mirrors of x64/y64; the remaining arguments match pairBatch.add.
+func (b32 *pairBatch32) add(x32, y32 []float32, x64, y64 []float64, warm *Fit, ix, iy *ColdInit, tag int) {
+	l := b32.active
+	b32.x32[l], b32.y32[l] = x32, y32
+	b32.x64[l], b32.y64[l] = x64, y64
+	b32.tag[l] = tag
+	// Tag-indexed weight row; see pairBatch.add for why slot-indexed
+	// rows would alias results published by immediately-resolved lanes.
+	b32.wrow[l] = b32.wback[tag*b32.m : (tag+1)*b32.m : (tag+1)*b32.m]
+	b32.wFresh[l] = false
+	b32.iters[l] = 0
+	b32.havePrev[l] = false
+	if warm != nil {
+		b32.warm[l] = *warm
+	} else {
+		b32.warm[l] = Fit{}
+	}
+	b32.attempted[l] = warm != nil && warm.Valid
+	if ix != nil && iy != nil {
+		b32.ix[l], b32.iy[l] = *ix, *iy
+		b32.haveInit[l] = true
+	} else {
+		b32.haveInit[l] = false
+	}
+	b32.active = l + 1
+	if b32.attempted[l] {
+		b32.strict[l] = true
+		b32.t1[l], b32.t2[l] = float32(warm.T1), float32(warm.T2)
+		b32.v11[l], b32.v22[l], b32.v12[l] = float32(warm.V11), float32(warm.V22), float32(warm.V12)
+		if !pd32(b32.v11[l], b32.v22[l], b32.v12[l]) {
+			// The float64 fixed point is PD but its float32 truncation
+			// is not (tiny scatter): cold-start in float32 instead.
+			b32.startCold(l, nil)
+		}
+		return
+	}
+	b32.startCold(l, nil)
+}
+
+// pd32 reports whether a float32 scatter is usable (finite, positive
+// definite).
+func pd32(v11, v22, v12 float32) bool {
+	det := v11*v22 - v12*v12
+	return v11 > 0 && v22 > 0 && det > 0 && !math.IsInf(float64(det), 0)
+}
+
+// startCold (re)initialises lane l from the float64 cold initialisers
+// truncated to float32. Exact-path semantics are preserved for the
+// genuinely degenerate case (float64 scale == 0 → empty fit); a scale
+// that only float32 cannot represent falls back to the exact path.
+func (b32 *pairBatch32) startCold(l int, st *RobustStats) bool {
+	b32.strict[l] = false
+	b32.wFresh[l] = false
+	b32.iters[l] = 0
+	b32.havePrev[l] = false
+	var i1, i2 ColdInit
+	if b32.haveInit[l] {
+		i1, i2 = b32.ix[l], b32.iy[l]
+	} else {
+		i1 = ColdInitOf(b32.parent.sbuf, b32.x64[l])
+		i2 = ColdInitOf(b32.parent.sbuf, b32.y64[l])
+	}
+	if i1.Scale == 0 || i2.Scale == 0 {
+		return b32.finalize(l, Fit{}, st)
+	}
+	s1, s2 := float32(i1.Scale), float32(i2.Scale)
+	v11, v22 := s1*s1, s2*s2
+	if !pd32(v11, v22, 0) {
+		return b32.fallbackExact(l, st)
+	}
+	b32.t1[l], b32.t2[l] = float32(i1.Med), float32(i2.Med)
+	b32.v11[l], b32.v22[l], b32.v12[l] = v11, v22, 0
+	return true
+}
+
+// run sweeps the active set until every lane has resolved (polished
+// float32 convergence or exact fallback).
+func (b32 *pairBatch32) run(st *RobustStats) {
+	// The parent's cold-init scratch must be sized even though the
+	// parent batch itself is idle on this path.
+	if len(b32.parent.sbuf) < b32.m {
+		b32.parent.sbuf = make([]float64, b32.m)
+	}
+	for b32.active > 0 {
+		if st != nil {
+			st.recordSweep(b32.active)
+		}
+		l := 0
+		for l < b32.active {
+			if b32.step(l, st) {
+				l++
+			}
+		}
+	}
+}
+
+// step advances lane l by one single-precision fixed-point iteration.
+func (b32 *pairBatch32) step(l int, st *RobustStats) bool {
+	v11, v22, v12 := b32.v11[l], b32.v22[l], b32.v12[l]
+	det := v11*v22 - v12*v12
+	if det <= 0 || v11 <= 0 || v22 <= 0 {
+		if b32.strict[l] {
+			return b32.startCold(l, st)
+		}
+		return b32.fallbackExact(l, st)
+	}
+	b32.iters[l]++
+	i11 := v22 / det
+	i22 := v11 / det
+	i12 := -v12 / det
+
+	x, y := b32.x32[l], b32.y32[l]
+	t1, t2 := b32.t1[l], b32.t2[l]
+	sw, sx, sy := maronnaLocation32(x, y, t1, t2, i11, i22, i12, b32.k, b32.k2)
+	if sw == 0 {
+		if b32.strict[l] {
+			return b32.startCold(l, st)
+		}
+		return b32.fallbackExact(l, st)
+	}
+	t1n, t2n := sx/sw, sy/sw
+
+	n11, n22, n12 := maronnaScatter32(x, y, t1n, t2n, i11, i22, i12, b32.k2)
+	fn := float32(len(x))
+	n11 /= fn
+	n22 /= fn
+	n12 /= fn
+
+	den := abs32(v11) + abs32(v22) + abs32(v12)
+	num := abs32(n11-v11) + abs32(n22-v22) + abs32(n12-v12)
+	g := [5]float32{t1n, t2n, n11, n22, n12}
+	f := [5]float32{t1n - t1, t2n - t2, n11 - v11, n22 - v22, n12 - v12}
+	t1, t2 = t1n, t2n
+	v11, v22, v12 = n11, n22, n12
+	if den > 0 && num/den < b32.tol {
+		b32.t1[l], b32.t2[l] = t1, t2
+		b32.v11[l], b32.v22[l], b32.v12[l] = v11, v22, v12
+		return b32.polishLane(l, st)
+	}
+
+	if b32.havePrev[l] {
+		pf := &b32.pf[l]
+		var fd, dd float32
+		for c := 0; c < 5; c++ {
+			d := f[c] - pf[c]
+			fd += f[c] * d
+			dd += d * d
+		}
+		if dd > 0 {
+			if theta := fd / dd; abs32(theta) < 16 {
+				pg := &b32.pg[l]
+				a1 := t1n - theta*(t1n-pg[0])
+				a2 := t2n - theta*(t2n-pg[1])
+				a11 := n11 - theta*(n11-pg[2])
+				a22 := n22 - theta*(n22-pg[3])
+				a12 := n12 - theta*(n12-pg[4])
+				if a11 > 0 && a22 > 0 && a11*a22-a12*a12 > 0 {
+					t1, t2 = a1, a2
+					v11, v22, v12 = a11, a22, a12
+				}
+			}
+		}
+	}
+	b32.pg[l] = g
+	b32.pf[l] = f
+	b32.havePrev[l] = true
+	b32.t1[l], b32.t2[l] = t1, t2
+	b32.v11[l], b32.v22[l], b32.v12[l] = v11, v22, v12
+
+	if b32.iters[l] >= b32.maxIter {
+		if b32.strict[l] {
+			return b32.startCold(l, st)
+		}
+		return b32.fallbackExact(l, st)
+	}
+	return true
+}
+
+// polishLane promotes lane l's converged float32 state to float64 and
+// runs the fixed exact polish iterations, writing the lane's float64
+// weight row. Any degeneracy mid-polish abandons to the exact path.
+func (b32 *pairBatch32) polishLane(l int, st *RobustStats) bool {
+	x, y, w := b32.x64[l], b32.y64[l], b32.wrow[l]
+	t1, t2 := float64(b32.t1[l]), float64(b32.t2[l])
+	v11, v22, v12 := float64(b32.v11[l]), float64(b32.v22[l]), float64(b32.v12[l])
+	k, k2, tol := b32.parent.k, b32.parent.k2, b32.parent.tol
+	iters := 0
+	for p := 0; p < b32.polish; p++ {
+		det := v11*v22 - v12*v12
+		if det <= 0 || v11 <= 0 || v22 <= 0 {
+			return b32.fallbackExact(l, st)
+		}
+		iters++
+		i11 := v22 / det
+		i22 := v11 / det
+		i12 := -v12 / det
+		sw, sx, sy := polishLocation(x, y, t1, t2, i11, i22, i12, k, k2)
+		if sw == 0 {
+			return b32.fallbackExact(l, st)
+		}
+		t1n, t2n := sx/sw, sy/sw
+		n11, n22, n12 := polishScatter(x, y, w, t1n, t2n, i11, i22, i12, k2)
+		fn := float64(len(x))
+		n11 /= fn
+		n22 /= fn
+		n12 /= fn
+		den := math.Abs(v11) + math.Abs(v22) + math.Abs(v12)
+		num := math.Abs(n11-v11) + math.Abs(n22-v22) + math.Abs(n12-v12)
+		t1, t2 = t1n, t2n
+		v11, v22, v12 = n11, n22, n12
+		if den > 0 && num/den < tol {
+			break
+		}
+	}
+	if v11 <= 0 || v22 <= 0 || v11*v22-v12*v12 <= 0 {
+		return b32.fallbackExact(l, st)
+	}
+	b32.wFresh[l] = true
+	f := Fit{
+		T1: t1, T2: t2, V11: v11, V22: v22, V12: v12,
+		Iters: b32.iters[l] + iters, Converged: true, Valid: true,
+		Seeded: b32.strict[l],
+	}
+	f.Rho = clampCorr(v12 / math.Sqrt(v11*v22))
+	return b32.finalize(l, f, st)
+}
+
+// fallbackExact resolves lane l through the exact float64 per-pair
+// path with the lane's original warm/cold inputs.
+func (b32 *pairBatch32) fallbackExact(l int, st *RobustStats) bool {
+	var ix, iy *ColdInit
+	if b32.haveInit[l] {
+		ix, iy = &b32.ix[l], &b32.iy[l]
+	}
+	f, sc := b32.est.FitScratchShared(b32.x64[l], b32.y64[l], b32.sc, &b32.warm[l], ix, iy)
+	b32.sc = sc
+	if len(sc.Weights()) == len(b32.wrow[l]) {
+		copy(b32.wrow[l], sc.Weights())
+		b32.wFresh[l] = true
+	}
+	return b32.finalize(l, f, st)
+}
+
+// finalize publishes lane l's result through the parent's tag-indexed
+// slots and compacts the lane out of the active set.
+func (b32 *pairBatch32) finalize(l int, f Fit, st *RobustStats) bool {
+	if !b32.wFresh[l] {
+		w := b32.wrow[l]
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	tag := b32.tag[l]
+	b32.parent.fits[tag] = f
+	b32.parent.wOut[tag] = b32.wrow[l]
+	if st != nil {
+		st.record(f, b32.attempted[l])
+	}
+	last := b32.active - 1
+	if l != last {
+		b32.swapLanes(l, last)
+	}
+	b32.active = last
+	return false
+}
+
+func (b32 *pairBatch32) swapLanes(i, j int) {
+	b32.x32[i], b32.x32[j] = b32.x32[j], b32.x32[i]
+	b32.y32[i], b32.y32[j] = b32.y32[j], b32.y32[i]
+	b32.x64[i], b32.x64[j] = b32.x64[j], b32.x64[i]
+	b32.y64[i], b32.y64[j] = b32.y64[j], b32.y64[i]
+	b32.wrow[i], b32.wrow[j] = b32.wrow[j], b32.wrow[i]
+	b32.t1[i], b32.t1[j] = b32.t1[j], b32.t1[i]
+	b32.t2[i], b32.t2[j] = b32.t2[j], b32.t2[i]
+	b32.v11[i], b32.v11[j] = b32.v11[j], b32.v11[i]
+	b32.v22[i], b32.v22[j] = b32.v22[j], b32.v22[i]
+	b32.v12[i], b32.v12[j] = b32.v12[j], b32.v12[i]
+	b32.pg[i], b32.pg[j] = b32.pg[j], b32.pg[i]
+	b32.pf[i], b32.pf[j] = b32.pf[j], b32.pf[i]
+	b32.havePrev[i], b32.havePrev[j] = b32.havePrev[j], b32.havePrev[i]
+	b32.strict[i], b32.strict[j] = b32.strict[j], b32.strict[i]
+	b32.attempted[i], b32.attempted[j] = b32.attempted[j], b32.attempted[i]
+	b32.wFresh[i], b32.wFresh[j] = b32.wFresh[j], b32.wFresh[i]
+	b32.iters[i], b32.iters[j] = b32.iters[j], b32.iters[i]
+	b32.tag[i], b32.tag[j] = b32.tag[j], b32.tag[i]
+	b32.ix[i], b32.ix[j] = b32.ix[j], b32.ix[i]
+	b32.iy[i], b32.iy[j] = b32.iy[j], b32.iy[i]
+	b32.haveInit[i], b32.haveInit[j] = b32.haveInit[j], b32.haveInit[i]
+	b32.warm[i], b32.warm[j] = b32.warm[j], b32.warm[i]
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// maronnaLocation32 is the location pass in single precision; the
+// float32(math.Sqrt(float64(·))) form compiles to the hardware
+// single-precision square root. The pass is kept in the reference's
+// serial shape: it is throughput-bound (~13 µops per observation), so
+// unrolled multi-accumulator variants measure no faster and spill
+// registers; see DESIGN.md §8.
+func maronnaLocation32(x, y []float32, t1, t2, i11, i22, i12, k, k2 float32) (sw, sx, sy float32) {
+	y = y[:len(x)]
+	for i := range x {
+		dx, dy := x[i]-t1, y[i]-t2
+		d2 := dx*dx*i11 + 2*dx*dy*i12 + dy*dy*i22
+		w := float32(1)
+		if d2 > k2 {
+			w = k / float32(math.Sqrt(float64(d2)))
+		}
+		sw += w
+		sx += w * x[i]
+		sy += w * y[i]
+	}
+	return sw, sx, sy
+}
+
+// maronnaScatter32 is the scatter pass in single precision. Unlike the
+// float64 pass it does not record per-observation weights: the weights
+// that matter (Combined's) are produced by the float64 polish.
+func maronnaScatter32(x, y []float32, t1, t2, i11, i22, i12, k2 float32) (n11, n22, n12 float32) {
+	y = y[:len(x)]
+	for i := range x {
+		dx, dy := x[i]-t1, y[i]-t2
+		d2 := dx*dx*i11 + 2*dx*dy*i12 + dy*dy*i22
+		w := float32(1)
+		if d2 > k2 {
+			w = k2 / d2
+		}
+		n11 += w * dx * dx
+		n22 += w * dy * dy
+		n12 += w * dx * dy
+	}
+	return n11, n22, n12
+}
+
+// polishLocation and polishScatter are the float64 passes of the
+// post-convergence polish. They share the reference arithmetic shape;
+// as part of the approximate lane they have no bit-identity contract,
+// but reassociated variants measured no faster (the passes are
+// µop-throughput-bound), so the serial shape stays. polishScatter
+// records the per-observation weights the Combined treatment consumes.
+func polishLocation(x, y []float64, t1, t2, i11, i22, i12, k, k2 float64) (sw, sx, sy float64) {
+	return maronnaLocation(x, y, t1, t2, i11, i22, i12, k, k2)
+}
+
+func polishScatter(x, y, wout []float64, t1, t2, i11, i22, i12, k2 float64) (n11, n22, n12 float64) {
+	return maronnaScatter(x, y, wout, t1, t2, i11, i22, i12, k2)
+}

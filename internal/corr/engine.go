@@ -40,6 +40,17 @@ type EngineConfig struct {
 	// out in its Matlab Approach 2); repair costs O(n³) per matrix
 	// and only affects OnlineEngine output.
 	RepairPSD bool
+	// Float32 opts the batch engines' robust fixed point into the
+	// single-precision iteration lane: converge in float32 at a
+	// float32-achievable tolerance, then polish the fixed point with
+	// full float64 iterations (falling back to the exact float64 path
+	// whenever single precision degenerates). Coefficients differ from
+	// the exact path by at most the polished residual — the accuracy
+	// gate TestFloat32LaneAccuracy and the f32_max_abs_rho_delta bench
+	// field bound it. Off (the default) keeps the engine bit-identical
+	// to ComputeSeriesMultiReference. The OnlineEngine rejects it: its
+	// snapshots are contractually bit-exact.
+	Float32 bool
 }
 
 func (c *EngineConfig) workers() int {
@@ -84,6 +95,39 @@ type RobustStats struct {
 	// IterHist[i] counts windows whose accepted run executed i
 	// fixed-point iterations (length MaxIter+1).
 	IterHist []int
+
+	// Batched-kernel telemetry. IterHist stays per-pair (it is part of
+	// the reference-equality contract); these fields add the batch view
+	// so the "where do the cycles go" profile remains measurable after
+	// batching: one sweep applies one fixed-point iteration to every
+	// lane of a batch's active set.
+	//
+	// BatchSweeps counts sweeps executed, BatchLaneSteps sums the
+	// active-set size over them (total per-lane iteration steps), and
+	// ActiveHist[a] counts sweeps that ran with a active lanes.
+	BatchSweeps    int
+	BatchLaneSteps int
+	ActiveHist     []int
+}
+
+// recordSweep records one batched sweep over active lanes.
+func (s *RobustStats) recordSweep(active int) {
+	s.BatchSweeps++
+	s.BatchLaneSteps += active
+	if active >= len(s.ActiveHist) {
+		s.ActiveHist = append(s.ActiveHist, make([]int, active+1-len(s.ActiveHist))...)
+	}
+	s.ActiveHist[active]++
+}
+
+// MeanActiveLanes returns the average active-set size per batched
+// sweep — the occupancy evidence that swap-to-end compaction keeps
+// late-converging pairs from serializing the batch.
+func (s *RobustStats) MeanActiveLanes() float64 {
+	if s.BatchSweeps == 0 {
+		return 0
+	}
+	return float64(s.BatchLaneSteps) / float64(s.BatchSweeps)
 }
 
 func (s *RobustStats) record(f Fit, attemptedWarm bool) {
@@ -114,6 +158,14 @@ func (s *RobustStats) Merge(o *RobustStats) {
 	}
 	for i, c := range o.IterHist {
 		s.IterHist[i] += c
+	}
+	s.BatchSweeps += o.BatchSweeps
+	s.BatchLaneSteps += o.BatchLaneSteps
+	if len(s.ActiveHist) < len(o.ActiveHist) {
+		s.ActiveHist = append(s.ActiveHist, make([]int, len(o.ActiveHist)-len(s.ActiveHist))...)
+	}
+	for i, c := range o.ActiveHist {
+		s.ActiveHist[i] += c
 	}
 }
 
@@ -452,7 +504,7 @@ type OnlineEngine struct {
 	head    int
 	count   int
 	scratch [][]float64 // contiguous window copies, one per stock
-	pool    []*Scratch  // per-worker robust scratch
+	pool    []*pairBatch // per-worker batched robust kernels
 	pairs   []taq.Pair  // cached pair table
 	sel     []int       // selected canonical pair ids (identity when cfg.Pairs is nil)
 	fits    []Fit       // per-pair warm-start state (robust types only)
@@ -479,6 +531,11 @@ func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
 	if cfg.M < 2 {
 		return nil, fmt.Errorf("corr: window M=%d too small", cfg.M)
 	}
+	if cfg.Float32 {
+		// Online snapshots (the broker's state store) are contractually
+		// bit-exact; the approximate lane is an offline accelerator.
+		return nil, errors.New("corr: Float32 lane is not supported by the online engine")
+	}
 	e := &OnlineEngine{cfg: cfg, n: n}
 	e.windows = make([][]float64, n)
 	e.scratch = make([][]float64, n)
@@ -486,10 +543,7 @@ func NewOnlineEngine(cfg EngineConfig, n int) (*OnlineEngine, error) {
 		e.windows[i] = make([]float64, cfg.M)
 		e.scratch[i] = make([]float64, cfg.M)
 	}
-	e.pool = make([]*Scratch, cfg.workers())
-	for i := range e.pool {
-		e.pool[i] = &Scratch{}
-	}
+	e.pool = make([]*pairBatch, cfg.workers())
 	e.pairs = taq.AllPairs(n)
 	var pairIdx []int
 	if cfg.Pairs != nil {
@@ -586,7 +640,7 @@ func (e *OnlineEngine) Push(rets []float64) (*Matrix, error) {
 // initialisers for the robust types when some pair needs one), then
 // cache tiles of pairs scheduled across workers by work stealing.
 // Every pair owns its matrix slot and warm-fit entry and worker
-// scratches are exchanged only through the steal pool's
+// batch kernels are exchanged only through the steal pool's
 // happens-before, so any schedule yields the same matrix.
 func (e *OnlineEngine) matrix() *Matrix {
 	m := NewMatrix(e.n)
@@ -643,24 +697,32 @@ func (e *OnlineEngine) matrix() *Matrix {
 			}
 		}
 		sched.Steal(workers, len(e.tiles), func(w, ti int) {
-			sc := e.pool[w]
-			for _, k := range e.tiles[ti] {
+			b := e.pool[w]
+			if b == nil {
+				b = newPairBatch(e.est.Config())
+				e.pool[w] = b
+			}
+			tile := e.tiles[ti]
+			b.begin(e.cfg.M, len(tile))
+			for li, k := range tile {
 				p := pairs[k]
-				x, y := e.scratch[p.I], e.scratch[p.J]
 				var ix, iy *ColdInit
 				if e.haveInit {
 					ix, iy = &e.inits[p.I], &e.inits[p.J]
 				}
-				var f Fit
-				f, sc = e.est.FitScratchShared(x, y, sc, &e.fits[k], ix, iy)
+				b.add(e.scratch[p.I], e.scratch[p.J], &e.fits[k], ix, iy, li, nil)
+			}
+			b.run(nil)
+			for li, k := range tile {
+				p := pairs[k]
+				f := b.fits[li]
 				e.fits[k] = f
 				c := f.Rho
 				if e.cfg.Type == Combined {
-					c = CombinedFromFit(x, y, f.Rho, sc.Weights())
+					c = CombinedFromFit(e.scratch[p.I], e.scratch[p.J], f.Rho, b.wOut[li])
 				}
 				m.SetPair(k, c)
 			}
-			e.pool[w] = sc
 		})
 	}
 	return m

@@ -123,32 +123,38 @@ func computeStockMoments(x []float64, m int, mom *stockMoments) {
 }
 
 // tileRun is the execution state of one tile: per-pair views of the
-// inputs, outputs and shared per-stock state. Pairs run pair-major —
-// each pair slides through the whole day in a tight inner loop, like
-// the reference, with the tile bounding how many stock rows those
-// loops cycle over while hot.
+// inputs, outputs and shared per-stock state. Pearson runs pair-major
+// (each pair slides through the day in a tight inner loop); the robust
+// treatments run window-major through the batched kernel — all of the
+// tile's pairs advance through window t as lanes of one pairBatch, so
+// the fixed-point sweeps stream over the tile's hot stock rows.
 type tileRun struct {
 	m     int
 	steps int
 	est   *MaronnaEstimator // nil when no robust treatment is requested
-	sc    *Scratch
+	batch *pairBatch        // worker-owned batched kernel (robust only)
+	f32   *pairBatch32      // float32 iteration lane, nil on the exact path
 	st    *RobustStats
+	warm  []Fit // per-lane warm-chain state across windows
 
 	xs, ys           [][]float64     // member-stock return rows
+	xs32, ys32       [][]float32     // float32 mirrors (float32 lane only)
 	outP, outM, outC [][]float64     // output rows (nil treatment-wise)
 	momX, momY       []*stockMoments // shared univariate moments
 	initX, initY     []*ColdInit     // shared t=0 robust initialisers
 }
 
 // newTileRun binds tile (a set of indices into pairs) to its inputs,
-// outputs and shared per-stock state.
+// outputs and shared per-stock state. batch is the calling worker's
+// reusable kernel; nil allocates a fresh one. returns32, non-nil only
+// on the float32 lane, holds the per-stock float32 mirrors of returns.
 func newTileRun(cfg *EngineConfig, tile []int, pairs []int, allPairs []taq.Pair,
-	returns [][]float64, outP, outM, outC [][]float64,
+	returns [][]float64, returns32 [][]float32, outP, outM, outC [][]float64,
 	moments []stockMoments, inits []ColdInit,
-	est *MaronnaEstimator, sc *Scratch, st *RobustStats) *tileRun {
+	est *MaronnaEstimator, batch *pairBatch, st *RobustStats) *tileRun {
 
 	steps := len(returns[0]) - cfg.M + 1
-	tr := &tileRun{m: cfg.M, steps: steps, est: est, sc: sc, st: st}
+	tr := &tileRun{m: cfg.M, steps: steps, est: est, st: st}
 	np := len(tile)
 	tr.xs = make([][]float64, np)
 	tr.ys = make([][]float64, np)
@@ -158,6 +164,11 @@ func newTileRun(cfg *EngineConfig, tile []int, pairs []int, allPairs []taq.Pair,
 		tr.momY = make([]*stockMoments, np)
 	}
 	if est != nil {
+		if batch == nil {
+			batch = newPairBatch(est.Config())
+		}
+		tr.batch = batch
+		tr.warm = make([]Fit, np)
 		tr.initX = make([]*ColdInit, np)
 		tr.initY = make([]*ColdInit, np)
 		if outM != nil {
@@ -165,6 +176,11 @@ func newTileRun(cfg *EngineConfig, tile []int, pairs []int, allPairs []taq.Pair,
 		}
 		if outC != nil {
 			tr.outC = make([][]float64, np)
+		}
+		if returns32 != nil {
+			tr.f32 = batch.lane32(est.Config())
+			tr.xs32 = make([][]float32, np)
+			tr.ys32 = make([][]float32, np)
 		}
 	}
 	for l, k := range tile {
@@ -185,6 +201,10 @@ func newTileRun(cfg *EngineConfig, tile []int, pairs []int, allPairs []taq.Pair,
 			}
 			tr.initX[l] = &inits[p.I]
 			tr.initY[l] = &inits[p.J]
+			if returns32 != nil {
+				tr.xs32[l] = returns32[p.I]
+				tr.ys32[l] = returns32[p.J]
+			}
 		}
 	}
 	return tr
@@ -225,53 +245,64 @@ func rollingPearsonShared(x, y []float64, m int, dst []float64, mx, my *stockMom
 	}
 }
 
-// runRobustPair slides pair l's warm Maronna chain through the day.
+// runRobust slides every pair of the tile through the day window-major:
+// at each step t the tile's pairs are enqueued as lanes of the batched
+// kernel, one batch run resolves them all, and each lane's accepted fit
+// both fills the output row and seeds the lane's warm chain for t+1.
 // The t=0 cold start (every pair takes it) reuses the shared per-stock
-// initialisers; later cold fallbacks are rare enough to compute
-// inline, which yields the same values.
-func (tr *tileRun) runRobustPair(l int) {
-	x, y := tr.xs[l], tr.ys[l]
+// initialisers; later cold fallbacks recompute inline inside the batch,
+// which yields the same values.
+func (tr *tileRun) runRobust() {
+	b := tr.batch
 	m := tr.m
-	est, sc, st := tr.est, tr.sc, tr.st
-	var outM, outC []float64
-	if tr.outM != nil {
-		outM = tr.outM[l]
+	if tr.f32 != nil {
+		tr.f32.begin(m, len(tr.xs))
+	} else {
+		b.begin(m, len(tr.xs))
 	}
-	if tr.outC != nil {
-		outC = tr.outC[l]
-	}
-	var warm Fit
 	for t := 0; t < tr.steps; t++ {
-		attempted := warm.Valid
-		var ix, iy *ColdInit
-		if t == 0 {
-			ix, iy = tr.initX[l], tr.initY[l]
+		for l := range tr.xs {
+			var ix, iy *ColdInit
+			if t == 0 {
+				ix, iy = tr.initX[l], tr.initY[l]
+			}
+			if tr.f32 != nil {
+				tr.f32.add(tr.xs32[l][t:t+m], tr.ys32[l][t:t+m],
+					tr.xs[l][t:t+m], tr.ys[l][t:t+m], &tr.warm[l], ix, iy, l)
+			} else {
+				b.add(tr.xs[l][t:t+m], tr.ys[l][t:t+m], &tr.warm[l], ix, iy, l, tr.st)
+			}
 		}
-		var f Fit
-		f, sc = est.FitScratchShared(x[t:t+m], y[t:t+m], sc, &warm, ix, iy)
-		st.record(f, attempted)
-		if outM != nil {
-			outM[t] = f.Rho
+		if tr.f32 != nil {
+			tr.f32.run(tr.st)
+		} else {
+			b.run(tr.st)
 		}
-		if outC != nil {
-			outC[t] = CombinedFromFit(x[t:t+m], y[t:t+m], f.Rho, sc.Weights())
+		for l := range tr.xs {
+			f := b.fits[l]
+			tr.warm[l] = f
+			if tr.outM != nil {
+				tr.outM[l][t] = f.Rho
+			}
+			if tr.outC != nil {
+				xw, yw := tr.xs[l][t:t+m], tr.ys[l][t:t+m]
+				tr.outC[l][t] = CombinedFromFit(xw, yw, f.Rho, b.wOut[l])
+			}
 		}
-		warm = f
 	}
-	tr.sc = sc
 }
 
 // run executes every pair of the tile over all window steps. After
-// warmup (scratch sized) it allocates nothing — the steady-state
+// warmup (batch sized) it allocates nothing — the steady-state
 // zero-alloc gate covers it.
 func (tr *tileRun) run() {
 	for l := range tr.xs {
 		if tr.outP != nil {
 			rollingPearsonShared(tr.xs[l], tr.ys[l], tr.m, tr.outP[l], tr.momX[l], tr.momY[l])
 		}
-		if tr.est != nil {
-			tr.runRobustPair(l)
-		}
+	}
+	if tr.est != nil {
+		tr.runRobust()
 	}
 }
 
@@ -329,12 +360,28 @@ func ComputeMatrixSeries(cfg EngineConfig, types []Type, returns [][]float64) ([
 		}
 	}
 	var inits []ColdInit
+	var returns32 [][]float32
 	if robust {
 		inits = make([]ColdInit, n)
 		buf := make([]float64, cfg.M)
 		for i, u := range used {
 			if u {
 				inits[i] = ColdInitOf(buf, returns[i][:cfg.M])
+			}
+		}
+		if cfg.Float32 {
+			// The float32 lane iterates on single-precision mirrors of
+			// the return rows, converted once per stock per day.
+			returns32 = make([][]float32, n)
+			for i, u := range used {
+				if u {
+					row := returns[i]
+					r32 := make([]float32, len(row))
+					for t, v := range row {
+						r32[t] = float32(v)
+					}
+					returns32[i] = r32
+				}
 			}
 		}
 	}
@@ -357,17 +404,17 @@ func ComputeMatrixSeries(cfg EngineConfig, types []Type, returns [][]float64) ([
 			workerStats[w].IterHist = make([]int, cfg.maronna().MaxIter+1)
 		}
 	}
-	workerScratch := make([]*Scratch, workers)
+	workerBatch := make([]*pairBatch, workers)
 
 	sched.Steal(workers, len(tiles), func(w, ti int) {
 		var st *RobustStats
 		if robust {
 			st = &workerStats[w]
 		}
-		tr := newTileRun(&cfg, tiles[ti], pairs, allPairs, returns,
-			outP, outM, outC, moments, inits, est, workerScratch[w], st)
+		tr := newTileRun(&cfg, tiles[ti], pairs, allPairs, returns, returns32,
+			outP, outM, outC, moments, inits, est, workerBatch[w], st)
 		tr.run()
-		workerScratch[w] = tr.sc
+		workerBatch[w] = tr.batch
 	})
 
 	if robust {

@@ -237,7 +237,7 @@ func TestTileRunSteadyStateZeroAllocs(t *testing.T) {
 	tiles := buildTiles(pairs, allPairs, cfg.TileSize)
 	est := NewMaronnaEstimator(cfg.maronna())
 	st := &RobustStats{IterHist: make([]int, cfg.maronna().MaxIter+1)}
-	tr := newTileRun(&cfg, tiles[0], pairs, allPairs, rets,
+	tr := newTileRun(&cfg, tiles[0], pairs, allPairs, rets, nil,
 		outs[0].Corr, outs[1].Corr, outs[2].Corr, moments, inits, est, nil, st)
 
 	tr.run() // size the scratch

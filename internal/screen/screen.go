@@ -1,0 +1,206 @@
+// Package screen implements the pair pre-screening stage: a cheap
+// distance filter over normalized price paths that prunes the
+// O(n²) pair triangle before any robust correlation work is spent on
+// it. The paper's bottleneck is "the computation of all pair-wise
+// correlations"; at a 1000-stock universe the triangle holds ~500k
+// pairs, most of which never trade because their price paths are
+// nowhere near each other. Screening removes those pairs for the cost
+// of one O(n²·T/stride) sum-of-squared-differences pass — orders of
+// magnitude cheaper than one Maronna window, let alone a day of them.
+//
+// The distance is the classic pairs-trading formation metric (Gatev,
+// Goetzmann & Rouwenhorst): for each stock build the normalized price
+// path — here the cumulative log-return path, i.e. log(P(t)/P(0)) —
+// and for each pair sum the squared differences of the two paths. A
+// small SSD means the two (dividend-adjusted, scale-free) price
+// series track each other, which is exactly the population the
+// correlation-triggered strategy can trade.
+//
+// Screening is approximate by construction: it can only drop pairs,
+// never alter a surviving pair's series, so the contract is a recall
+// gate, not bit-identity — a screened sweep must retain at least 95%
+// of the unscreened sweep's trade PnL on the seed universe
+// (TestScreenedSweepRecall). Selection itself is deterministic: ties
+// break on the canonical pair id, so every shard of a sweep prunes
+// identically.
+package screen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"marketminer/internal/taq"
+)
+
+// Config tunes the pre-screening stage. The zero value disables
+// screening entirely (every pair survives).
+type Config struct {
+	// TopFrac keeps the fraction of pairs with the smallest SSD,
+	// 0 < TopFrac ≤ 1; 0 means no fractional cut. The kept count is
+	// ceil(TopFrac · pairs).
+	TopFrac float64
+	// MaxSSD additionally drops any pair whose SSD exceeds this
+	// absolute threshold; 0 means no absolute cut.
+	MaxSSD float64
+	// MinKeep is a floor on the number of surviving pairs: if the
+	// fractional and absolute cuts leave fewer, the smallest-SSD pairs
+	// are re-admitted up to MinKeep (bounded by the pair count). It
+	// guards a sweep against an over-aggressive threshold silently
+	// pruning the whole universe.
+	MinKeep int
+	// Stride subsamples the path when computing the SSD (every
+	// Stride-th grid point); ≤ 1 means every point. The day grids are
+	// fine (≈780 points at ∆s = 30s), so Stride 4–8 loses almost no
+	// ranking fidelity while shrinking the screening pass further.
+	Stride int
+}
+
+// Enabled reports whether the configuration prunes at all.
+func (c Config) Enabled() bool { return c.TopFrac > 0 || c.MaxSSD > 0 }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TopFrac < 0 || c.TopFrac > 1 {
+		return fmt.Errorf("screen: TopFrac %v outside [0, 1]", c.TopFrac)
+	}
+	if c.MaxSSD < 0 {
+		return fmt.Errorf("screen: MaxSSD %v negative", c.MaxSSD)
+	}
+	if c.MinKeep < 0 {
+		return fmt.Errorf("screen: MinKeep %d negative", c.MinKeep)
+	}
+	return nil
+}
+
+func (c Config) stride() int {
+	if c.Stride > 1 {
+		return c.Stride
+	}
+	return 1
+}
+
+// Stats reports what one screening pass did.
+type Stats struct {
+	// PairsTotal is the size of the full pair triangle.
+	PairsTotal int
+	// PairsKept is the number of surviving pairs.
+	PairsKept int
+}
+
+// PruneRatio returns the fraction of pairs removed (0 when nothing
+// was pruned or the triangle is empty).
+func (s Stats) PruneRatio() float64 {
+	if s.PairsTotal == 0 {
+		return 0
+	}
+	return 1 - float64(s.PairsKept)/float64(s.PairsTotal)
+}
+
+// Select runs the screening pass over one day's per-stock log-return
+// rows and returns the surviving canonical pair ids in ascending
+// order. A disabled configuration returns nil (meaning "all pairs" to
+// the engine) with PairsKept == PairsTotal. Pairs with non-finite
+// SSDs rank last and survive only if MinKeep forces them in.
+func Select(cfg Config, returns [][]float64) ([]int, Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	n := len(returns)
+	total := n * (n - 1) / 2
+	st := Stats{PairsTotal: total, PairsKept: total}
+	if !cfg.Enabled() || total == 0 {
+		return nil, st, nil
+	}
+	T := len(returns[0])
+	for _, r := range returns {
+		if len(r) < T {
+			T = len(r)
+		}
+	}
+	if T == 0 {
+		return nil, st, fmt.Errorf("screen: empty return series")
+	}
+
+	// Normalized price paths: cumulative log returns, subsampled at
+	// the configured stride. One row per stock, shared by all of the
+	// stock's n-1 pairs.
+	stride := cfg.stride()
+	pts := (T + stride - 1) / stride
+	paths := make([][]float64, n)
+	flat := make([]float64, n*pts)
+	for s, r := range returns {
+		p := flat[s*pts : (s+1)*pts : (s+1)*pts]
+		paths[s] = p
+		var cum float64
+		k := 0
+		for t := 0; t < T; t++ {
+			cum += r[t]
+			if t%stride == 0 {
+				p[k] = cum
+				k++
+			}
+		}
+	}
+
+	// SSD per pair, indexed by canonical pair id.
+	ssd := make([]float64, total)
+	for i := 0; i < n; i++ {
+		pi := paths[i]
+		for j := i + 1; j < n; j++ {
+			pj := paths[j][:len(pi)]
+			var s float64
+			for t := range pi {
+				d := pi[t] - pj[t]
+				s += d * d
+			}
+			ssd[taq.PairID(i, j, n)] = s
+		}
+	}
+
+	// Rank by (SSD, id); non-finite SSDs sort last.
+	order := make([]int, total)
+	for k := range order {
+		order[k] = k
+	}
+	key := func(k int) float64 {
+		v := ssd[k]
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := key(order[a]), key(order[b])
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+
+	topN := total
+	if cfg.TopFrac > 0 {
+		topN = int(math.Ceil(cfg.TopFrac * float64(total)))
+		if topN > total {
+			topN = total
+		}
+	}
+	keep := make([]int, 0, topN)
+	for _, k := range order[:topN] {
+		if cfg.MaxSSD > 0 && !(key(k) <= cfg.MaxSSD) {
+			break // order is sorted: everything after also exceeds
+		}
+		keep = append(keep, k)
+	}
+	// MinKeep floor: re-admit the smallest-SSD pairs past the cuts.
+	floor := cfg.MinKeep
+	if floor > total {
+		floor = total
+	}
+	if len(keep) < floor {
+		keep = append(keep[:0], order[:floor]...)
+	}
+	sort.Ints(keep)
+	st.PairsKept = len(keep)
+	return keep, st, nil
+}

@@ -12,6 +12,7 @@ import (
 	"marketminer/internal/corr"
 	"marketminer/internal/market"
 	"marketminer/internal/sched"
+	"marketminer/internal/screen"
 	"marketminer/internal/strategy"
 	"marketminer/internal/taq"
 )
@@ -229,18 +230,34 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	}
 
 	// Day preparation is cached per day: groups of the same day share
-	// one generate→clean→sample pass regardless of which worker gets
-	// there first.
+	// one generate→clean→sample pass — and one screening pass, so
+	// every block of a day prunes against the identical kept set
+	// regardless of which worker gets there first.
 	type dayOnce struct {
 		once sync.Once
 		dd   *backtest.DayData
+		kept []bool // by pair id; nil when screening is disabled
 		err  error
 	}
 	dayCache := make([]dayOnce, plan.Days)
-	prepareDay := func(d int) (*backtest.DayData, error) {
+	prepareDay := func(d int) (*dayOnce, error) {
 		c := &dayCache[d]
-		c.once.Do(func() { c.dd, c.err = backtest.PrepareDay(cfg, gen, d) })
-		return c.dd, c.err
+		c.once.Do(func() {
+			c.dd, c.err = backtest.PrepareDay(cfg, gen, d)
+			if c.err != nil || !cfg.Screen.Enabled() {
+				return
+			}
+			keep, _, err := screen.Select(cfg.Screen, c.dd.Returns)
+			if err != nil {
+				c.err = err
+				return
+			}
+			c.kept = make([]bool, plan.NumPairs)
+			for _, pid := range keep {
+				c.kept[pid] = true
+			}
+		})
+		return c, c.err
 	}
 
 	pairs := taq.AllPairs(uni.Len())
@@ -259,14 +276,34 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 		gid := groups[gi]
 		units := missingByGroup[gid]
 		day, block := gid/plan.NumBlocks(), gid%plan.NumBlocks()
-		dd, err := prepareDay(day)
+		dc, err := prepareDay(day)
 		if err != nil {
 			return err
 		}
+		dd := dc.dd
 		lo, hi := plan.BlockRange(block)
 		blockPairs := make([]int, hi-lo)
 		for i := range blockPairs {
 			blockPairs[i] = lo + i
+		}
+		// Screening intersection: the engine computes only this
+		// block's surviving pairs; pruned pairs keep their journal
+		// slot with an empty return set. rowOf maps a block-local
+		// index to its row in the engine output (-1 = pruned).
+		engPairs := blockPairs
+		rowOf := func(i int) int { return i }
+		if dc.kept != nil {
+			engPairs = make([]int, 0, hi-lo)
+			rows := make([]int, hi-lo)
+			for i, pid := range blockPairs {
+				if dc.kept[pid] {
+					rows[i] = len(engPairs)
+					engPairs = append(engPairs, pid)
+				} else {
+					rows[i] = -1
+				}
+			}
+			rowOf = func(i int) int { return rows[i] }
 		}
 
 		// Group the group's missing units by window M and compute each
@@ -296,22 +333,25 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 					types = append(types, t)
 				}
 			}
-			css, err := corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: engineWorkers, Pairs: blockPairs}, types, dd.Returns)
-			if err != nil {
-				return err
-			}
-			// All robust series of one fused pass share a single stats
-			// object; find it past any Pearson series and count it once.
-			for _, cs := range css {
-				if cs.Robust != nil {
-					warmMu.Lock()
-					warm.Merge(cs.Robust)
-					warmMu.Unlock()
-					break
+			var css []*corr.Series
+			if len(engPairs) > 0 {
+				css, err = corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: engineWorkers, Pairs: engPairs, Float32: cfg.Float32}, types, dd.Returns)
+				if err != nil {
+					return err
+				}
+				// All robust series of one fused pass share a single
+				// stats object; find it past any Pearson series and
+				// count it once.
+				for _, cs := range css {
+					if cs.Robust != nil {
+						warmMu.Lock()
+						warm.Merge(cs.Robust)
+						warmMu.Unlock()
+						break
+					}
 				}
 			}
 			for ti, t := range types {
-				cs := css[ti]
 				for _, u := range needed[t] {
 					if err := ctx.Err(); err != nil {
 						return err
@@ -320,8 +360,14 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 					e := Entry{U: plan.UnitID(u), Rets: make([][]float64, hi-lo)}
 					var unitTrades int64
 					for i, pid := range blockPairs {
+						row := rowOf(i)
+						if row < 0 {
+							e.Rets[i] = backtest.TradeReturns(cfg, nil)
+							continue
+						}
+						cs := css[ti]
 						pr := pairs[pid]
-						tr, err := strategy.RunDay(p, cs.Corr[i], cs.FirstS, dd.PG, pr.I, pr.J, u.Day)
+						tr, err := strategy.RunDay(p, cs.Corr[row], cs.FirstS, dd.PG, pr.I, pr.J, u.Day)
 						if err != nil {
 							return err
 						}

@@ -362,3 +362,22 @@ func DefaultSymbols() []string {
 		"DIS", "CMCSA", "F", "GM", "X",
 	}
 }
+
+// SyntheticSymbols returns a deterministic n-symbol universe for
+// scaling experiments past the paper's 61 names: the first
+// min(n, 61) are the default tickers, the remainder synthetic
+// "S0061".."S9999"-style names. Symbols depend only on n, so two
+// processes given the same count agree on the universe (and therefore
+// on every pair id).
+func SyntheticSymbols(n int) []string {
+	defaults := DefaultSymbols()
+	if n <= len(defaults) {
+		return defaults[:n]
+	}
+	syms := make([]string, n)
+	copy(syms, defaults)
+	for i := len(defaults); i < n; i++ {
+		syms[i] = fmt.Sprintf("S%04d", i)
+	}
+	return syms
+}

@@ -394,3 +394,30 @@ func TestPairFromIDPanicsOutOfRange(t *testing.T) {
 	}()
 	PairFromID(3, 3) // n=3 has ids 0..2
 }
+
+func TestSyntheticSymbols(t *testing.T) {
+	if got := SyntheticSymbols(5); len(got) != 5 || got[0] != DefaultSymbols()[0] {
+		t.Fatalf("small universe should prefix the default tickers: %v", got)
+	}
+	syms := SyntheticSymbols(200)
+	if len(syms) != 200 {
+		t.Fatalf("len = %d, want 200", len(syms))
+	}
+	if syms[60] != DefaultSymbols()[60] || syms[61] != "S0061" || syms[199] != "S0199" {
+		t.Fatalf("synthetic tail malformed: %q %q %q", syms[60], syms[61], syms[199])
+	}
+	seen := make(map[string]bool, len(syms))
+	for _, s := range syms {
+		if seen[s] {
+			t.Fatalf("duplicate symbol %q", s)
+		}
+		seen[s] = true
+	}
+	// Determinism in n: a larger universe extends, never reshuffles.
+	big := SyntheticSymbols(400)
+	for i, s := range syms {
+		if big[i] != s {
+			t.Fatalf("universe not prefix-stable at %d: %q vs %q", i, s, big[i])
+		}
+	}
+}

@@ -26,6 +26,12 @@ go test -race ./internal/sweep ./internal/sched
 echo "== go test -race ./internal/corr ./internal/sched (matrix engine focus)"
 go test -race ./internal/corr ./internal/sched
 
+echo "== go test -race ./internal/screen ./internal/corr (screening + batched kernel focus)"
+go test -race ./internal/screen ./internal/corr
+
+echo "== batched-vs-reference bit-identity smoke"
+go test -race -run 'TestMatrixEngineMatchesReference|TestBatchDegenerateLanesMatchReference|TestFloat32LaneAccuracy' ./internal/corr
+
 echo "== go test -race ./internal/feed ./internal/supervise ./internal/chaos (robustness focus)"
 go test -race ./internal/feed ./internal/supervise ./internal/chaos
 
@@ -42,10 +48,12 @@ sh scripts/sweep_smoke.sh
 sh scripts/chaos_smoke.sh
 sh scripts/broker_smoke.sh
 
-echo "== bench gate: fresh kernel ratios vs committed BENCH_corr.json"
+echo "== bench gate: fresh kernel ratios + scaling efficiency vs committed baselines"
 bench_tmp=$(mktemp /tmp/mm_bench_gate.XXXXXX.json)
-trap 'rm -f "$bench_tmp"' EXIT
-go run ./cmd/mmscale -stocks 8 -days 1 -levels 2 -bench-json "$bench_tmp" >/dev/null
-go run ./cmd/mmbenchgate -fresh "$bench_tmp" -committed BENCH_corr.json
+scaling_tmp=$(mktemp /tmp/mm_scaling_gate.XXXXXX.json)
+trap 'rm -f "$bench_tmp" "$scaling_tmp"' EXIT
+go run ./cmd/mmscale -stocks 8 -days 1 -levels 2 -bench-json "$bench_tmp" -scaling-json "$scaling_tmp" >/dev/null
+go run ./cmd/mmbenchgate -fresh "$bench_tmp" -committed BENCH_corr.json \
+    -fresh-scaling "$scaling_tmp" -committed-scaling BENCH_scaling.json
 
 echo "verify: OK"
