@@ -1,0 +1,644 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/feed"
+	"marketminer/internal/metrics"
+	"marketminer/internal/sweep"
+)
+
+// CoordinatorConfig configures one farm coordinator run.
+type CoordinatorConfig struct {
+	// Config is the sweep every worker must have been started with;
+	// its fingerprint gates Join.
+	Config backtest.Config
+	// BlockSize is the pairs-per-block granularity; ≤ 0 means
+	// sweep.DefaultBlockSize (fingerprinted, so workers must agree).
+	BlockSize int
+	// JournalPath is the checkpoint journal (required). A farm journal
+	// is written as Shard{0, 1}, so mmreport -merge and even a local
+	// single-host sweep.Run can pick up where a farm left off.
+	JournalPath string
+	// LeaseTTL bounds how long a silent worker holds a group before it
+	// is reassigned; ≤ 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// SweepEvery is the expiry-check cadence; ≤ 0 means LeaseTTL/4.
+	SweepEvery time.Duration
+	// Limit, when > 0, pauses the run cleanly after accepting that many
+	// results in this invocation; a later run with the same journal
+	// resumes.
+	Limit int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// Progress, when non-nil, is called after every accepted unit with
+	// (journaled, total) counts.
+	Progress func(done, total int)
+}
+
+// CoordStats reports what one Serve invocation did.
+type CoordStats struct {
+	// UnitsTotal is the whole sweep's unit count; UnitsRestored were
+	// already in the journal, UnitsExecuted were accepted from workers
+	// now.
+	UnitsTotal, UnitsRestored, UnitsExecuted int
+	// Trades counts trades across all journaled units.
+	Trades int64
+	// WorkersJoined counts accepted Join handshakes (reconnects
+	// included).
+	WorkersJoined int
+	// Paused reports that Limit stopped the run before the sweep
+	// finished.
+	Paused bool
+	// Recovered is non-nil when a damaged journal tail was healed
+	// before serving.
+	Recovered *sweep.Corruption
+}
+
+// Coordinator deals sweep groups to remote workers and journals their
+// results. One Coordinator serves one sweep; create it with
+// NewCoordinator and run it with Serve.
+type Coordinator struct {
+	cc          CoordinatorConfig
+	plan        *sweep.Plan
+	header      sweep.Header
+	fingerprint string
+	ttl         time.Duration
+	sweepEvery  time.Duration
+	drainGrace  time.Duration
+	now         func() time.Time // injectable clock (expiry tests)
+
+	// mu guards everything below, including every session's held set.
+	mu          sync.Mutex
+	journal     *sweep.Journal
+	groups      []groupState
+	pending     []int // unleased gids with missing units; front = next out
+	waiters     []*session
+	sessions    map[uint64]*session
+	nextSession uint64
+	nextLease   uint64
+	unitsTotal  int
+	doneUnits   int // journaled units (restored + accepted)
+	restored    int
+	accepted    int
+	trades      int64
+	joined      int
+	finished    bool
+	paused      bool
+	fatal       error
+	done        chan struct{} // closed once finished
+}
+
+// groupState tracks one (day, pair-block) group's lease. The
+// generation counter is bumped on every (re)assignment; a Result whose
+// (lease, gen, session) triple does not match the current holder is a
+// fenced zombie and is dropped.
+type groupState struct {
+	gen     uint64
+	lease   uint64 // 0 = unleased
+	session uint64
+	expiry  time.Time
+	missing map[int]bool // param indexes not yet journaled
+}
+
+// session is one connected worker. Its encoder is shared by the
+// handler, the sweeper's heartbeats and waiter wake-ups; writeMu
+// serializes them. held is guarded by Coordinator.mu, not writeMu.
+type session struct {
+	id      uint64
+	name    string
+	conn    net.Conn
+	writeMu sync.Mutex
+	enc     *feed.Encoder
+	held    map[int]bool // gids leased to this session
+}
+
+func (s *session) send(f func(*feed.Encoder) error) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return f(s.enc)
+}
+
+func (s *session) sendEnd() error {
+	return s.send(func(e *feed.Encoder) error { return e.WriteEnd(&feed.End{}) })
+}
+
+// NewCoordinator validates the configuration and derives the plan. The
+// journal is opened by Serve.
+func NewCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
+	if cc.JournalPath == "" {
+		return nil, fmt.Errorf("farm: CoordinatorConfig.JournalPath is required")
+	}
+	runner, err := sweep.NewGroupRunner(cc.Config, cc.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cc:          cc,
+		plan:        runner.Plan(),
+		header:      sweep.PlanHeader(runner, sweep.Shard{Index: 0, Count: 1}),
+		fingerprint: runner.Fingerprint(),
+		ttl:         cc.LeaseTTL,
+		sweepEvery:  cc.SweepEvery,
+		drainGrace:  3 * time.Second,
+		now:         time.Now,
+		sessions:    map[uint64]*session{},
+		done:        make(chan struct{}),
+	}
+	if c.ttl <= 0 {
+		c.ttl = DefaultLeaseTTL
+	}
+	if c.sweepEvery <= 0 {
+		c.sweepEvery = c.ttl / defaultTTLDivide
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cc.Logf != nil {
+		c.cc.Logf(format, args...)
+	}
+}
+
+// Serve opens (or resumes) the journal, accepts workers on l and deals
+// groups until the sweep is complete, Limit is reached, or ctx is
+// cancelled. It owns l and closes it on the way out. Serve never
+// computes a unit itself — a coordinator on a laptop can drive a room
+// full of workers.
+func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, error) {
+	journal, done, recovered, err := sweep.OpenJournal(c.cc.JournalPath, c.header)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.journal = journal
+	c.unitsTotal = c.plan.NumUnits()
+	c.groups = make([]groupState, c.plan.NumGroups())
+	np := c.plan.NumParams()
+	for gid := range c.groups {
+		g := &c.groups[gid]
+		g.missing = make(map[int]bool, np)
+		for k := 0; k < np; k++ {
+			g.missing[k] = true
+		}
+	}
+	for id, n := range done {
+		u := c.plan.UnitFromID(id)
+		delete(c.groups[c.plan.GroupID(u.Day, u.Block)].missing, u.Param)
+		c.restored++
+		c.doneUnits++
+		c.trades += int64(n)
+	}
+	for gid := range c.groups {
+		if len(c.groups[gid].missing) > 0 {
+			c.pending = append(c.pending, gid)
+		}
+	}
+	complete := c.doneUnits == c.unitsTotal
+	if complete {
+		c.finishLocked(false, nil)
+	}
+	c.mu.Unlock()
+
+	if recovered != nil {
+		c.logf("farm: healed journal tail: %v", recovered)
+	}
+	if complete {
+		l.Close()
+		err := journal.Close()
+		return c.snapshotStats(recovered), err
+	}
+	c.logf("farm: serving %d/%d units (%d restored), lease TTL %v",
+		c.unitsTotal-c.doneUnits, c.unitsTotal, c.restored, c.ttl)
+
+	// Watchdog: on cancel, abort every session; on finish (from any
+	// path), just close the listener so Accept returns.
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			ss := c.finishLocked(false, ctx.Err())
+			c.mu.Unlock()
+			for _, s := range ss {
+				s.conn.Close()
+			}
+		case <-c.done:
+		}
+		l.Close()
+	}()
+
+	// Lease sweeper: expiry checks plus liveness heartbeats to every
+	// session (parked workers use them to reset their idle timers).
+	go func() {
+		t := time.NewTicker(c.sweepEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-t.C:
+				c.sweepLeases()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var acceptErr error
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			acceptErr = err
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.handle(conn)
+		}()
+	}
+	// If the listener died before anything finished the run, that is a
+	// real serving error, not a shutdown.
+	c.mu.Lock()
+	ss := c.finishLocked(false, acceptErr)
+	c.mu.Unlock()
+	for _, s := range ss {
+		s.conn.Close()
+	}
+	wg.Wait()
+
+	c.mu.Lock()
+	ferr := c.fatal
+	c.mu.Unlock()
+	if cerr := journal.Close(); ferr == nil {
+		ferr = cerr
+	}
+	return c.snapshotStats(recovered), ferr
+}
+
+// snapshotStats snapshots run stats under mu.
+func (c *Coordinator) snapshotStats(recovered *sweep.Corruption) *CoordStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &CoordStats{
+		UnitsTotal:    c.unitsTotal,
+		UnitsRestored: c.restored,
+		UnitsExecuted: c.accepted,
+		Trades:        c.trades,
+		WorkersJoined: c.joined,
+		Paused:        c.paused,
+		Recovered:     recovered,
+	}
+}
+
+// finishLocked transitions to the finished state exactly once and
+// returns the sessions to notify; mu must be held. The caller decides
+// how to notify (End + drain deadline on clean finish, Close on
+// abort).
+func (c *Coordinator) finishLocked(paused bool, err error) []*session {
+	if c.finished {
+		return nil
+	}
+	c.finished = true
+	c.paused = paused
+	c.fatal = err
+	close(c.done)
+	c.waiters = nil
+	out := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// endSessions notifies workers of a clean finish: End, then a read
+// deadline so a wedged peer cannot hold Serve open past the grace
+// period. Conns are kept open until the worker hangs up (or the
+// deadline) so the End frame is never lost to a reset.
+func (c *Coordinator) endSessions(ss []*session) {
+	for _, s := range ss {
+		s.conn.SetDeadline(time.Now().Add(c.drainGrace))
+		s.sendEnd()
+	}
+}
+
+// handle runs one worker connection: Join/Grant handshake, then a
+// Steal/Heartbeat/Result read loop until the peer drops or the run
+// ends.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := feed.NewDecoder(conn)
+	f, err := dec.Read()
+	if err != nil {
+		return
+	}
+	join, ok := f.(*feed.Join)
+	if !ok {
+		c.logf("farm: dropping connection: first frame %T, want Join", f)
+		return
+	}
+	if join.Version != feed.ProtocolVersion {
+		c.logf("farm: dropping worker %q: protocol version %d, want %d", join.Name, join.Version, feed.ProtocolVersion)
+		return
+	}
+	if join.Fingerprint != c.fingerprint {
+		c.logf("farm: REFUSING worker %q: sweep fingerprint %s, coordinator has %s (mismatched config?)",
+			join.Name, join.Fingerprint, c.fingerprint)
+		return
+	}
+
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		// Late joiner: the sweep is over; tell it so it exits cleanly.
+		feed.NewEncoder(conn, nil).WriteEnd(&feed.End{})
+		return
+	}
+	c.nextSession++
+	s := &session{
+		id:   c.nextSession,
+		name: join.Name,
+		conn: conn,
+		enc:  feed.NewEncoder(conn, nil),
+		held: map[int]bool{},
+	}
+	c.sessions[s.id] = s
+	c.joined++
+	grant := &feed.Grant{Session: s.id, UnitsTotal: uint64(c.unitsTotal), UnitsDone: uint64(c.doneUnits)}
+	c.mu.Unlock()
+
+	metrics.Counter(MetricWorkersJoined).Inc()
+	c.logf("farm: worker %q joined as session %d", join.Name, s.id)
+	defer c.dropSession(s)
+	if s.send(func(e *feed.Encoder) error { return e.WriteGrant(grant) }) != nil {
+		return
+	}
+
+	for {
+		f, err := dec.Read()
+		if err != nil {
+			return
+		}
+		switch f := f.(type) {
+		case *feed.Steal:
+			if c.requestWork(s) != nil {
+				return
+			}
+		case *feed.Heartbeat:
+			c.renew(s)
+		case *feed.Result:
+			if err := c.acceptResult(s, f); err != nil {
+				c.logf("farm: session %d (%q): %v; dropping connection", s.id, s.name, err)
+				return
+			}
+		default:
+			c.logf("farm: session %d sent unexpected %T; dropping connection", s.id, f)
+			return
+		}
+	}
+}
+
+// requestWork answers a Steal: the front pending group, a parking slot
+// if the queue is dry, or End if the run is over. The returned error
+// is a send failure only.
+func (c *Coordinator) requestWork(s *session) error {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return s.sendEnd()
+	}
+	if len(c.pending) == 0 {
+		c.waiters = append(c.waiters, s)
+		c.mu.Unlock()
+		return nil
+	}
+	gid := c.pending[0]
+	c.pending = c.pending[1:]
+	lease := c.leaseLocked(gid, s)
+	c.mu.Unlock()
+	metrics.Counter(MetricLeasesGranted).Inc()
+	return s.send(func(e *feed.Encoder) error { return e.WriteLease(lease) })
+}
+
+// leaseLocked assigns gid to s, bumping the fencing generation; mu
+// must be held.
+func (c *Coordinator) leaseLocked(gid int, s *session) *feed.Lease {
+	g := &c.groups[gid]
+	g.gen++
+	c.nextLease++
+	g.lease = c.nextLease
+	g.session = s.id
+	g.expiry = c.now().Add(c.ttl)
+	s.held[gid] = true
+	params := make([]int, 0, len(g.missing))
+	for k := range g.missing {
+		params = append(params, k)
+	}
+	sort.Ints(params)
+	l := &feed.Lease{
+		ID:        g.lease,
+		Gen:       g.gen,
+		Day:       uint32(gid / c.plan.NumBlocks()),
+		Block:     uint32(gid % c.plan.NumBlocks()),
+		TTLMillis: uint32(c.ttl / time.Millisecond),
+		Params:    make([]uint16, len(params)),
+	}
+	for i, k := range params {
+		l.Params[i] = uint16(k)
+	}
+	return l
+}
+
+// renew extends every lease s holds; called on worker heartbeats.
+func (c *Coordinator) renew(s *session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp := c.now().Add(c.ttl)
+	for gid := range s.held {
+		g := &c.groups[gid]
+		if g.session == s.id && g.lease != 0 {
+			g.expiry = exp
+		}
+	}
+}
+
+// acceptResult validates one Result against the group's current lease
+// and journals it. A non-nil return is a protocol violation that
+// drops the connection; fenced zombies and duplicates are dropped
+// silently (counted) because the journal must only ever grow by
+// currently-leased units.
+func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		metrics.Counter(MetricResultsLate).Inc()
+		return nil
+	}
+	id := int(r.Unit)
+	if id < 0 || id >= c.plan.NumUnits() {
+		c.mu.Unlock()
+		return fmt.Errorf("result for unit %d outside plan of %d units", id, c.plan.NumUnits())
+	}
+	u := c.plan.UnitFromID(id)
+	gid := c.plan.GroupID(u.Day, u.Block)
+	g := &c.groups[gid]
+	if g.lease != r.Lease || g.gen != r.Gen || g.session != s.id {
+		c.mu.Unlock()
+		metrics.Counter(MetricResultsZombie).Inc()
+		c.logf("farm: fenced zombie result for unit %d from session %d (lease %d gen %d; current lease %d gen %d session %d)",
+			id, s.id, r.Lease, r.Gen, g.lease, g.gen, g.session)
+		return nil
+	}
+	if !g.missing[u.Param] {
+		c.mu.Unlock()
+		metrics.Counter(MetricResultsDuplicate).Inc()
+		return nil
+	}
+	lo, hi := c.plan.BlockRange(u.Block)
+	if len(r.Rets) != hi-lo {
+		c.mu.Unlock()
+		return fmt.Errorf("result for unit %d carries %d rows, want %d", id, len(r.Rets), hi-lo)
+	}
+	if err := c.journal.Append(sweep.Entry{U: id, Rets: r.Rets}); err != nil {
+		ss := c.finishLocked(false, err)
+		c.mu.Unlock()
+		for _, x := range ss {
+			x.conn.Close()
+		}
+		return err
+	}
+	delete(g.missing, u.Param)
+	g.expiry = c.now().Add(c.ttl) // progress is as good as a heartbeat
+	if len(g.missing) == 0 {
+		g.lease, g.session = 0, 0
+		delete(s.held, gid)
+	}
+	c.doneUnits++
+	c.accepted++
+	for _, row := range r.Rets {
+		c.trades += int64(len(row))
+	}
+	doneNow, total := c.doneUnits, c.unitsTotal
+	var ended []*session
+	if c.doneUnits == c.unitsTotal {
+		ended = c.finishLocked(false, nil)
+	} else if c.cc.Limit > 0 && c.accepted >= c.cc.Limit {
+		ended = c.finishLocked(true, nil)
+	}
+	c.mu.Unlock()
+
+	metrics.Counter(MetricResultsAccepted).Inc()
+	if c.cc.Progress != nil {
+		c.cc.Progress(doneNow, total)
+	}
+	if ended != nil {
+		c.endSessions(ended)
+	}
+	return nil
+}
+
+// dropSession reclaims a disconnected worker's leases immediately —
+// no TTL wait when the TCP connection itself tells us the holder is
+// gone — and re-deals them to parked workers.
+func (c *Coordinator) dropSession(s *session) {
+	c.mu.Lock()
+	delete(c.sessions, s.id)
+	for i, w := range c.waiters {
+		if w == s {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			break
+		}
+	}
+	reclaimed := 0
+	for gid := range s.held {
+		g := &c.groups[gid]
+		if g.session == s.id && g.lease != 0 && len(g.missing) > 0 {
+			g.lease, g.session = 0, 0
+			c.pending = append([]int{gid}, c.pending...)
+			reclaimed++
+		}
+		delete(s.held, gid)
+	}
+	finished := c.finished
+	c.mu.Unlock()
+	if reclaimed > 0 {
+		metrics.Counter(MetricLeaseReclaims).Add(int64(reclaimed))
+		c.logf("farm: session %d (%q) disconnected holding %d group(s); requeued", s.id, s.name, reclaimed)
+		c.wakeWaiters()
+	} else if !finished {
+		c.logf("farm: session %d (%q) disconnected", s.id, s.name)
+	}
+}
+
+// sweepLeases expires overdue leases (requeued at the front so lost
+// work re-deals first) and heartbeats every session so parked workers
+// know the coordinator is alive.
+func (c *Coordinator) sweepLeases() {
+	c.mu.Lock()
+	now := c.now()
+	var expired []int
+	for gid := range c.groups {
+		g := &c.groups[gid]
+		if g.lease != 0 && len(g.missing) > 0 && g.expiry.Before(now) {
+			g.lease, g.session = 0, 0
+			expired = append(expired, gid)
+		}
+	}
+	if len(expired) > 0 {
+		c.pending = append(append([]int{}, expired...), c.pending...)
+	}
+	ss := make([]*session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		ss = append(ss, s)
+	}
+	c.mu.Unlock()
+
+	if len(expired) > 0 {
+		metrics.Counter(MetricLeaseExpiries).Add(int64(len(expired)))
+		c.logf("farm: %d lease(s) expired after %v of silence; reassigning", len(expired), c.ttl)
+	}
+	for _, s := range ss {
+		s.send(func(e *feed.Encoder) error { return e.WriteHeartbeat(&feed.Heartbeat{Seq: s.id}) })
+	}
+	if len(expired) > 0 {
+		c.wakeWaiters()
+	}
+}
+
+// wakeWaiters pairs parked workers with pending groups until one side
+// runs dry.
+func (c *Coordinator) wakeWaiters() {
+	for {
+		c.mu.Lock()
+		if c.finished {
+			ws := c.waiters
+			c.waiters = nil
+			c.mu.Unlock()
+			for _, s := range ws {
+				s.sendEnd()
+			}
+			return
+		}
+		if len(c.waiters) == 0 || len(c.pending) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		s := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		gid := c.pending[0]
+		c.pending = c.pending[1:]
+		lease := c.leaseLocked(gid, s)
+		c.mu.Unlock()
+		metrics.Counter(MetricLeasesGranted).Inc()
+		// A failed send is recovered by the session's own read loop
+		// (its handler will drop and requeue the lease).
+		s.send(func(e *feed.Encoder) error { return e.WriteLease(lease) })
+	}
+}

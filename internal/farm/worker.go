@@ -1,0 +1,300 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"marketminer/internal/backtest"
+	"marketminer/internal/feed"
+	"marketminer/internal/sweep"
+)
+
+// WorkerConfig configures one farm worker process.
+type WorkerConfig struct {
+	// Config must match the coordinator's sweep configuration exactly;
+	// the Join handshake is refused otherwise.
+	Config backtest.Config
+	// BlockSize must match the coordinator's (fingerprinted).
+	BlockSize int
+	// Name identifies this worker in coordinator logs.
+	Name string
+	// Addr is the coordinator's address; ignored when Dial is set.
+	Addr string
+	// Dial, when non-nil, replaces the default TCP dial — the chaos
+	// dialer hook (chaos.Chaos.Dialer wraps exactly this signature).
+	Dial func(ctx context.Context) (net.Conn, error)
+	// EngineWorkers sets intra-group matrix-engine parallelism; ≤ 0
+	// means Config.ResolvedWorkers(). Any value produces identical
+	// bytes (the engine is worker-count-invariant).
+	EngineWorkers int
+	// HeartbeatEvery is the lease-renewal cadence; ≤ 0 means 1s. Keep
+	// it well under the coordinator's lease TTL.
+	HeartbeatEvery time.Duration
+	// IdleTimeout bounds silence from the coordinator before this
+	// worker abandons the connection and redials; ≤ 0 means 30s. The
+	// coordinator heartbeats parked workers every TTL/4, so a healthy
+	// link never trips this.
+	IdleTimeout time.Duration
+	// ReconnectWait is the initial redial backoff (doubled per failure
+	// up to 32×); ≤ 0 means 100ms.
+	ReconnectWait time.Duration
+	// MaxJoinFailures gives up after that many consecutive attempts
+	// that never reached a Grant; ≤ 0 means 10. Mid-sweep disconnects
+	// reset the count — only a coordinator that cannot be reached at
+	// all is fatal.
+	MaxJoinFailures int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// OnUnit, when non-nil, is called after each completed unit with
+	// the running per-worker count (test crash hooks, progress bars).
+	OnUnit func(done int)
+}
+
+// WorkerStats reports what one RunWorker invocation did.
+type WorkerStats struct {
+	// Units and Groups count work computed and delivered (accepted or
+	// not — a fenced zombie still counts here).
+	Units, Groups int
+	// Sessions counts successful Join handshakes; Redials counts
+	// connection attempts that had to be retried.
+	Sessions, Redials int
+	// Warm summarises the robust kernel's warm-start behaviour.
+	Warm sweep.RobustSummary
+}
+
+// errSweepDone signals a clean End from the coordinator.
+var errSweepDone = errors.New("farm: sweep complete")
+
+// wireError marks a network failure inside a compute loop: retryable
+// by reconnecting, unlike a compute error (wrong config, engine bug)
+// which is terminal.
+type wireError struct{ err error }
+
+func (e wireError) Error() string { return e.err.Error() }
+func (e wireError) Unwrap() error { return e.err }
+
+// RunWorker joins the coordinator, steals and computes groups through
+// the same sweep.GroupRunner the single-host orchestrator uses, and
+// streams each unit's Result back, until the coordinator sends End.
+// It
+// reconnects with exponential backoff across coordinator restarts,
+// chaos cuts and idle timeouts; it returns an error only when the
+// coordinator is unreachable for MaxJoinFailures straight attempts,
+// the configuration is rejected locally, or ctx is cancelled.
+func RunWorker(ctx context.Context, wc WorkerConfig) (*WorkerStats, error) {
+	if wc.HeartbeatEvery <= 0 {
+		wc.HeartbeatEvery = time.Second
+	}
+	if wc.IdleTimeout <= 0 {
+		wc.IdleTimeout = 30 * time.Second
+	}
+	if wc.ReconnectWait <= 0 {
+		wc.ReconnectWait = 100 * time.Millisecond
+	}
+	if wc.MaxJoinFailures <= 0 {
+		wc.MaxJoinFailures = 10
+	}
+	dial := wc.Dial
+	if dial == nil {
+		if wc.Addr == "" {
+			return nil, fmt.Errorf("farm: WorkerConfig.Addr or Dial is required")
+		}
+		dial = func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", wc.Addr)
+		}
+	}
+	runner, err := sweep.NewGroupRunner(wc.Config, wc.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &worker{wc: wc, runner: runner}
+	stats := &w.stats
+	backoff := wc.ReconnectWait
+	joinFailures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		conn, err := dial(ctx)
+		joined := false
+		if err == nil {
+			joined, err = w.session(ctx, conn)
+			conn.Close()
+		}
+		if err == nil || errors.Is(err, errSweepDone) {
+			stats.Warm = runner.WarmStats()
+			return stats, nil
+		}
+		if ctx.Err() != nil {
+			return stats, ctx.Err()
+		}
+		var we wireError
+		if joined || errors.As(err, &we) {
+			joinFailures = 0
+			backoff = wc.ReconnectWait
+		} else {
+			joinFailures++
+			if joinFailures >= wc.MaxJoinFailures {
+				return stats, fmt.Errorf("farm: giving up after %d failed join attempts: %w", joinFailures, err)
+			}
+		}
+		stats.Redials++
+		w.logf("farm worker: connection lost (%v); redialing in %v", err, backoff)
+		select {
+		case <-ctx.Done():
+			return stats, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 32*wc.ReconnectWait {
+			backoff = 32 * wc.ReconnectWait
+		}
+	}
+}
+
+type worker struct {
+	wc     WorkerConfig
+	runner *sweep.GroupRunner
+	stats  WorkerStats
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.wc.Logf != nil {
+		w.wc.Logf(format, args...)
+	}
+}
+
+// session runs one connection: Join → Grant, then steal/compute/result
+// until End or failure. joined reports whether a Grant was received
+// (resets the fatal join-failure counter).
+func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err error) {
+	// Writes come from this goroutine (Join, Steal, Results) and the
+	// heartbeat goroutine; writeMu serializes them on the shared
+	// encoder.
+	var writeMu sync.Mutex
+	enc := feed.NewEncoder(conn, nil)
+	send := func(f func(*feed.Encoder) error) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return f(enc)
+	}
+	dec := feed.NewDecoder(conn)
+	read := func() (feed.Frame, error) {
+		conn.SetReadDeadline(time.Now().Add(w.wc.IdleTimeout))
+		return dec.Read()
+	}
+
+	if err := send(func(e *feed.Encoder) error {
+		return e.WriteJoin(&feed.Join{Version: feed.ProtocolVersion, Name: w.wc.Name, Fingerprint: w.runner.Fingerprint()})
+	}); err != nil {
+		return false, err
+	}
+	f, err := read()
+	if err != nil {
+		return false, err
+	}
+	var session uint64
+	switch f := f.(type) {
+	case *feed.Grant:
+		session = f.Session
+		w.stats.Sessions++
+		w.logf("farm worker: joined as session %d (%d/%d units already done)", f.Session, f.UnitsDone, f.UnitsTotal)
+	case *feed.End:
+		return true, errSweepDone
+	default:
+		return false, fmt.Errorf("farm: handshake got %T, want Grant", f)
+	}
+
+	// Heartbeats renew leases while this goroutine is deep in a
+	// compute; the same goroutine closes the conn on ctx cancel so
+	// blocked reads and computes unwind promptly.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		t := time.NewTicker(w.wc.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ctx.Done():
+				conn.Close()
+				return
+			case <-t.C:
+				send(func(e *feed.Encoder) error { return e.WriteHeartbeat(&feed.Heartbeat{Seq: session}) })
+			}
+		}
+	}()
+
+	for {
+		if err := send(func(e *feed.Encoder) error { return e.WriteSteal(&feed.Steal{Done: uint64(w.stats.Units)}) }); err != nil {
+			return true, err
+		}
+		// Read until work arrives; coordinator heartbeats punctuate
+		// long parks and reset the idle timer.
+	wait:
+		for {
+			f, err := read()
+			if err != nil {
+				return true, err
+			}
+			switch f := f.(type) {
+			case *feed.Heartbeat:
+				continue
+			case *feed.End:
+				return true, errSweepDone
+			case *feed.Lease:
+				if err := w.compute(ctx, f, send); err != nil {
+					return true, err
+				}
+				break wait
+			default:
+				return true, fmt.Errorf("farm: unexpected %T while awaiting lease", f)
+			}
+		}
+	}
+}
+
+// compute executes one leased group and streams each unit's Result
+// back, stamped with the lease's fencing generation.
+func (w *worker) compute(ctx context.Context, l *feed.Lease, send func(func(*feed.Encoder) error) error) error {
+	plan := w.runner.Plan()
+	day, block := int(l.Day), int(l.Block)
+	if day >= plan.Days || block >= plan.NumBlocks() {
+		return fmt.Errorf("farm: lease for group (%d,%d) outside plan", day, block)
+	}
+	units := make([]sweep.Unit, len(l.Params))
+	for i, p := range l.Params {
+		if int(p) >= plan.NumParams() {
+			return fmt.Errorf("farm: lease param %d outside plan", p)
+		}
+		units[i] = sweep.Unit{Day: day, Block: block, Param: int(p)}
+	}
+	engineWorkers := w.wc.EngineWorkers
+	if engineWorkers <= 0 {
+		engineWorkers = w.runner.Config().ResolvedWorkers()
+	}
+	gid := plan.GroupID(day, block)
+	err := w.runner.RunGroup(ctx, gid, units, engineWorkers, func(e sweep.Entry, trades int64) error {
+		err := send(func(enc *feed.Encoder) error {
+			return enc.WriteResult(&feed.Result{Lease: l.ID, Gen: l.Gen, Unit: uint64(e.U), Rets: e.Rets})
+		})
+		if err != nil {
+			return wireError{err}
+		}
+		w.stats.Units++
+		if w.wc.OnUnit != nil {
+			w.wc.OnUnit(w.stats.Units)
+		}
+		return nil
+	})
+	if err == nil {
+		w.stats.Groups++
+	}
+	return err
+}

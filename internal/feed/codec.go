@@ -84,6 +84,16 @@ func (t FrameType) String() string {
 		return "delta"
 	case FrameAck:
 		return "ack"
+	case FrameJoin:
+		return "join"
+	case FrameGrant:
+		return "grant"
+	case FrameLease:
+		return "lease"
+	case FrameResult:
+		return "result"
+	case FrameSteal:
+		return "steal"
 	default:
 		return fmt.Sprintf("type-%d", byte(t))
 	}
@@ -98,9 +108,10 @@ func protoErrf(format string, args ...any) error {
 }
 
 // Frame is one decoded wire message: *Hello, *Batch, *Heartbeat, *End
-// or *Subscribe from the quote feed, or *GroupSub, *Assign,
+// or *Subscribe from the quote feed, *GroupSub, *Assign,
 // *SnapshotFrame, *DeltaFrame or *AckFrame from the signal broker
-// extension (see signal.go).
+// extension (see signal.go), or *Join, *Grant, *Lease, *Result or
+// *Steal from the sweep-farm extension (see farm.go).
 type Frame interface{ frameType() FrameType }
 
 // Hello is the first server frame: protocol version plus the symbol
@@ -342,6 +353,20 @@ func (d *Decoder) Read() (Frame, error) {
 		return decodeDelta(d.buf)
 	case FrameAck:
 		return decodeAck(d.buf)
+	case FrameJoin:
+		return decodeJoin(d.buf)
+	case FrameGrant:
+		return decodeGrant(d.buf)
+	case FrameLease:
+		return decodeLease(d.buf)
+	case FrameResult:
+		return decodeResult(d.buf)
+	case FrameSteal:
+		done, err := decodeU64Payload(d.buf, "steal")
+		if err != nil {
+			return nil, err
+		}
+		return &Steal{Done: done}, nil
 	default:
 		return nil, protoErrf("unknown frame type %d", hdr[0])
 	}

@@ -1,0 +1,133 @@
+package feed
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFarmFrameRoundTrip encodes every farm frame and decodes it back,
+// requiring exact equality — including float64 bit patterns in Result
+// rows and the non-nil-empty-row invariant merge byte-identity needs.
+func TestFarmFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		&Join{Version: ProtocolVersion, Name: "worker-7", Fingerprint: "00deadbeef00cafe"},
+		&Join{Version: 1, Name: "", Fingerprint: ""},
+		&Grant{Session: 42, UnitsTotal: 1830 * 42 * 20, UnitsDone: 917},
+		&Lease{ID: 9, Gen: 3, Day: 19, Block: 14, TTLMillis: 10_000, Params: []uint16{0, 5, 41}},
+		&Lease{ID: 1, Gen: 1, Day: 0, Block: 0, TTLMillis: 1, Params: []uint16{}},
+		&Result{Lease: 9, Gen: 3, Unit: 1234567, Rets: [][]float64{
+			{0.0012, -3.4e-5, math.Inf(1)},
+			{},
+			{math.Copysign(0, -1)},
+		}},
+		&Steal{Done: 77},
+	}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	for _, f := range frames {
+		var err error
+		switch f := f.(type) {
+		case *Join:
+			err = enc.WriteJoin(f)
+		case *Grant:
+			err = enc.WriteGrant(f)
+		case *Lease:
+			err = enc.WriteLease(f)
+		case *Result:
+			err = enc.WriteResult(f)
+		case *Steal:
+			err = enc.WriteSteal(f)
+		}
+		if err != nil {
+			t.Fatalf("encode %T: %v", f, err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range frames {
+		got, err := dec.Read()
+		if err != nil {
+			t.Fatalf("decode frame %d (%T): %v", i, want, err)
+		}
+		// Zero-length slices may decode as non-nil empties; normalize
+		// nothing — the decoder is required to produce non-nil rows and
+		// params, so reflect.DeepEqual must hold with the empties above.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestResultRowsNeverNil pins the invariant the coordinator's journal
+// depends on: a decoded Result row with zero trades is an empty slice,
+// not nil, because nil marshals to JSON null while every single-host
+// journal row marshals to [].
+func TestResultRowsNeverNil(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, nil)
+	if err := enc.WriteResult(&Result{Unit: 1, Rets: [][]float64{nil, {}}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewDecoder(&buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.(*Result)
+	for i, row := range r.Rets {
+		if row == nil {
+			t.Errorf("row %d decoded as nil; must be non-nil empty", i)
+		}
+	}
+}
+
+// TestFarmFrameMalformed drives the farm decoders through truncated
+// and inconsistent payloads; every case must fail as a protocol error,
+// never panic or mis-parse.
+func TestFarmFrameMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		typ     FrameType
+		payload []byte
+	}{
+		{"join empty", FrameJoin, nil},
+		{"join truncated name", FrameJoin, []byte{2, 0, 5, 0, 'a'}},
+		{"join truncated before fingerprint", FrameJoin, []byte{2, 0, 1, 0, 'a'}},
+		{"join trailing bytes", FrameJoin, []byte{2, 0, 0, 0, 0, 0, 9}},
+		{"grant short", FrameGrant, make([]byte, 23)},
+		{"grant long", FrameGrant, make([]byte, 25)},
+		{"lease short", FrameLease, make([]byte, 29)},
+		{"lease param count mismatch", FrameLease, append(make([]byte, 28), 3, 0, 1, 0)},
+		{"result short", FrameResult, make([]byte, 27)},
+		{"result row count lies", FrameResult, append(make([]byte, 24), 2, 0, 0, 0)},
+		{"result row payload truncated", FrameResult, append(make([]byte, 24), 1, 0, 0, 0, 2, 0, 0, 0, 1, 2, 3)},
+		{"steal short", FrameSteal, make([]byte, 7)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			writeRawFrame(t, &buf, tc.typ, tc.payload)
+			_, err := NewDecoder(&buf).Read()
+			if err == nil {
+				t.Fatalf("decoder accepted malformed %s frame", tc.typ)
+			}
+			if !strings.Contains(err.Error(), "protocol error") {
+				t.Fatalf("want protocol error, got: %v", err)
+			}
+		})
+	}
+}
+
+// writeRawFrame emits a frame with a valid header and CRC around an
+// arbitrary payload, so malformed-payload tests exercise the payload
+// decoders rather than the checksum path.
+func writeRawFrame(t *testing.T, buf *bytes.Buffer, typ FrameType, payload []byte) {
+	t.Helper()
+	enc := NewEncoder(buf, nil)
+	enc.begin(typ)
+	enc.buf = append(enc.buf, payload...)
+	if err := enc.finish(); err != nil {
+		t.Fatal(err)
+	}
+}

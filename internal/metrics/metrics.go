@@ -4,6 +4,17 @@
 // drawdown, and the win–loss ratio, plus the equity-curve helper they
 // share. The formulas follow the high-frequency finance evaluation
 // methodology the paper adapts from Dacorogna et al.
+//
+// The performance functions are pure: given the same return sets they
+// produce the same statistics, bit for bit, with no package state —
+// they sit on the deterministic (replayable) side of the codebase.
+// The package's second face, the operational counters in ops.go, is
+// deliberately the opposite: process-global named monotonic counters
+// (feed evictions, supervisor restarts, broker fencing rejections,
+// farm zombie results) that hot paths bump with one atomic add.
+// Observability never feeds back into computation — no kernel or
+// strategy decision may read a counter — so the bit-identity
+// guarantees elsewhere are unaffected by what is being measured.
 package metrics
 
 import (

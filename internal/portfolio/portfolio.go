@@ -3,6 +3,12 @@
 // per-trade return accounting of step 6, and the basket book kept by
 // the Figure-1 master process that "can be gathered … to perform
 // additional tasks such as risk management and liquidity provisioning".
+//
+// Ownership contract: a Book is single-owner state — exactly one
+// goroutine (the master/aggregator) mutates it, so it takes no locks;
+// concurrent readers must go through that owner. All arithmetic is
+// plain float64 with a fixed evaluation order, so position sizing and
+// P&L are deterministic given the same order stream.
 package portfolio
 
 import (

@@ -1,6 +1,13 @@
 // Package prof wires the standard runtime/pprof file profiles into the
 // command-line tools, so performance work can capture CPU and heap
 // evidence from real sweeps without code edits.
+//
+// Ownership contract: the caller that passes profile paths owns their
+// lifecycle — Start begins the CPU profile immediately and the
+// returned stop function writes the heap profile and closes both
+// files exactly once; empty paths make Start/stop no-ops. Profiling
+// is observation only: it never alters scheduling or results, so a
+// profiled sweep's output is byte-identical to an unprofiled one.
 package prof
 
 import (

@@ -3,6 +3,12 @@
 // of the three performance measures per correlation treatment), the
 // Figure 2 box-plot summaries, and the Section IV computational-cost
 // extrapolations ("854 hours … 445 days … 53 years").
+//
+// Rendering is pure and deterministic: every function is a function of
+// the *backtest.Result (or merge report) it is handed, owns no state,
+// and produces identical text for identical inputs — map iteration is
+// avoided or sorted, so reports can be diffed across runs and hosts as
+// a cheap bit-identity check on the pipeline that produced them.
 package report
 
 import (

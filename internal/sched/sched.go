@@ -5,6 +5,15 @@
 // completion counts, and cancels outstanding work on the first error —
 // the same submit/wait contract an SGE array job gives, with goroutines
 // standing in for cluster slots.
+//
+// Beyond the Pool, the package hosts the deterministic-parallelism
+// primitives the engines build on: Map, which writes result i of job i
+// into a dense slice so the output ordering is invariant to worker
+// count and interleaving; Steal, a tile-claiming counter/deque that
+// lets idle workers take tiles from slow ones without changing which
+// tile computes which output; and Meter, which samples per-worker
+// utilisation for the scaling experiments. The contract throughout:
+// scheduling choices may change timing, never results.
 package sched
 
 import (

@@ -1,0 +1,34 @@
+package screen
+
+import "fmt"
+
+// ExampleConfig screens a four-stock day: two stocks track each other
+// closely, a third follows them loosely, and a fourth is unrelated.
+// Keeping the closest half of the pair triangle retains the tracking
+// pairs and drops everything involving the outlier.
+func ExampleConfig() {
+	returns := [][]float64{
+		{0.010, 0.020, -0.010, 0.010},  // stock 0
+		{0.011, 0.019, -0.010, 0.010},  // stock 1: tracks stock 0
+		{0.012, 0.022, -0.011, 0.011},  // stock 2: loosely tracks both
+		{-0.050, 0.060, -0.040, 0.050}, // stock 3: unrelated
+	}
+
+	cfg := Config{TopFrac: 0.5} // keep the closest half of all pairs
+	kept, stats, err := Select(cfg, returns)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("surviving pair ids:", kept)
+	fmt.Printf("pruned %.0f%% of %d pairs\n", 100*stats.PruneRatio(), stats.PairsTotal)
+
+	// The zero value disables screening: every pair survives (nil
+	// means "all pairs" to the engine).
+	all, stats, _ := Select(Config{}, returns)
+	fmt.Printf("disabled: kept %v of %d pairs\n", all, stats.PairsKept)
+	// Output:
+	// surviving pair ids: [0 1 3]
+	// pruned 50% of 6 pairs
+	// disabled: kept [] of 6 pairs
+}

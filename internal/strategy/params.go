@@ -3,6 +3,13 @@
 // sliding correlation average, cash-neutral-but-slightly-long position
 // sizing, retracement/holding-period/end-of-day exits, and the Table I
 // parameter grid.
+//
+// RunDay is a pure function of (params, correlation series, price
+// grid): it allocates its own Tracker, reads nothing global, and emits
+// the same trade list bit for bit on every call. This is the
+// determinism the whole reproduction leans on — sweep resume, journal
+// merges, and the distributed farm's duplicate-completion tolerance
+// all assume that re-running a unit reproduces its bytes exactly.
 package strategy
 
 import (

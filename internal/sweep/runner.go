@@ -10,11 +10,7 @@ import (
 
 	"marketminer/internal/backtest"
 	"marketminer/internal/corr"
-	"marketminer/internal/market"
 	"marketminer/internal/sched"
-	"marketminer/internal/screen"
-	"marketminer/internal/strategy"
-	"marketminer/internal/taq"
 )
 
 // RunConfig configures one orchestrated shard run.
@@ -109,7 +105,8 @@ type RunStats struct {
 // where it stopped; the merged output is bit-identical to an
 // uninterrupted single-process sweep because every unit's value is
 // independent of scheduling (per-pair warm-start chains never cross
-// units).
+// units). Group execution itself lives in GroupRunner, the path the
+// distributed farm's remote workers share.
 func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	if err := rc.Shard.Validate(); err != nil {
 		return nil, err
@@ -117,34 +114,12 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	if rc.JournalPath == "" {
 		return nil, fmt.Errorf("sweep: RunConfig.JournalPath is required")
 	}
-	cfg := rc.Config
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	gen, err := market.NewGenerator(cfg.Market)
+	runner, err := NewGroupRunner(rc.Config, rc.BlockSize)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Market = gen.Config()
-	plan, err := NewPlan(cfg, rc.BlockSize)
-	if err != nil {
-		return nil, err
-	}
-	uni := cfg.Market.Universe
-	header := Header{
-		Schema:      JournalSchema,
-		Fingerprint: Fingerprint(cfg, plan.BlockSize),
-		ShardIndex:  rc.Shard.Index,
-		ShardCount:  rc.Shard.Count,
-		BlockSize:   plan.BlockSize,
-		Symbols:     uni.Symbols(),
-		Days:        plan.Days,
-		Levels:      plan.Levels,
-		UnitsTotal:  plan.NumUnits(),
-	}
-	for _, t := range plan.Types {
-		header.Types = append(header.Types, t.String())
-	}
+	cfg, plan := runner.Config(), runner.Plan()
+	header := PlanHeader(runner, rc.Shard)
 
 	journal, done, recovered, err := OpenJournal(rc.JournalPath, header)
 	if err != nil {
@@ -192,11 +167,6 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	var trades, executed atomic.Int64
 	trades.Store(stats.Trades)
 
-	// Warm-start statistics aggregate across groups under a lock; the
-	// progress path reads a consistent snapshot.
-	var warmMu sync.Mutex
-	warm := corr.RobustStats{}
-
 	var progressMu sync.Mutex
 	var lastProgress time.Time
 	emitProgress := func() {
@@ -209,9 +179,7 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 		progressMu.Unlock()
 
 		snap := meter.Snapshot()
-		warmMu.Lock()
-		ws := summarize(&warm)
-		warmMu.Unlock()
+		ws := runner.WarmStats()
 		info := ProgressInfo{
 			Shard:           rc.Shard,
 			Done:            int(snap.Done),
@@ -229,38 +197,6 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 		writeManifest(rc.manifestPath(), manifestFrom(header, info, ws, false))
 	}
 
-	// Day preparation is cached per day: groups of the same day share
-	// one generate→clean→sample pass — and one screening pass, so
-	// every block of a day prunes against the identical kept set
-	// regardless of which worker gets there first.
-	type dayOnce struct {
-		once sync.Once
-		dd   *backtest.DayData
-		kept []bool // by pair id; nil when screening is disabled
-		err  error
-	}
-	dayCache := make([]dayOnce, plan.Days)
-	prepareDay := func(d int) (*dayOnce, error) {
-		c := &dayCache[d]
-		c.once.Do(func() {
-			c.dd, c.err = backtest.PrepareDay(cfg, gen, d)
-			if c.err != nil || !cfg.Screen.Enabled() {
-				return
-			}
-			keep, _, err := screen.Select(cfg.Screen, c.dd.Returns)
-			if err != nil {
-				c.err = err
-				return
-			}
-			c.kept = make([]bool, plan.NumPairs)
-			for _, pid := range keep {
-				c.kept[pid] = true
-			}
-		})
-		return c, c.err
-	}
-
-	pairs := taq.AllPairs(uni.Len())
 	W := cfg.ResolvedWorkers()
 	// Parallelism lives at the group level, but when this shard owns
 	// fewer groups than workers the surplus cores would idle; hand the
@@ -274,117 +210,16 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 	pool := sched.New(W)
 	err = pool.Map(ctx, len(groups), func(ctx context.Context, gi int) error {
 		gid := groups[gi]
-		units := missingByGroup[gid]
-		day, block := gid/plan.NumBlocks(), gid%plan.NumBlocks()
-		dc, err := prepareDay(day)
-		if err != nil {
-			return err
-		}
-		dd := dc.dd
-		lo, hi := plan.BlockRange(block)
-		blockPairs := make([]int, hi-lo)
-		for i := range blockPairs {
-			blockPairs[i] = lo + i
-		}
-		// Screening intersection: the engine computes only this
-		// block's surviving pairs; pruned pairs keep their journal
-		// slot with an empty return set. rowOf maps a block-local
-		// index to its row in the engine output (-1 = pruned).
-		engPairs := blockPairs
-		rowOf := func(i int) int { return i }
-		if dc.kept != nil {
-			engPairs = make([]int, 0, hi-lo)
-			rows := make([]int, hi-lo)
-			for i, pid := range blockPairs {
-				if dc.kept[pid] {
-					rows[i] = len(engPairs)
-					engPairs = append(engPairs, pid)
-				} else {
-					rows[i] = -1
-				}
+		return runner.RunGroup(ctx, gid, missingByGroup[gid], engineWorkers, func(e Entry, unitTrades int64) error {
+			if err := journal.Append(e); err != nil {
+				return err
 			}
-			rowOf = func(i int) int { return rows[i] }
-		}
-
-		// Group the group's missing units by window M and compute each
-		// needed correlation series once — the fused robust path
-		// serves Maronna and Combined from a single fit per window,
-		// exactly as the integrated runner does.
-		byM := map[int]map[corr.Type][]Unit{}
-		for _, u := range units {
-			p := plan.Param(u.Param)
-			tm, ok := byM[p.M]
-			if !ok {
-				tm = map[corr.Type][]Unit{}
-				byM[p.M] = tm
-			}
-			tm[p.Ctype] = append(tm[p.Ctype], u)
-		}
-		ms := make([]int, 0, len(byM))
-		for m := range byM {
-			ms = append(ms, m)
-		}
-		sort.Ints(ms)
-		for _, m := range ms {
-			needed := byM[m]
-			var types []corr.Type
-			for _, t := range plan.Types {
-				if _, ok := needed[t]; ok {
-					types = append(types, t)
-				}
-			}
-			var css []*corr.Series
-			if len(engPairs) > 0 {
-				css, err = corr.ComputeSeriesMulti(corr.EngineConfig{M: m, Workers: engineWorkers, Pairs: engPairs, Float32: cfg.Float32}, types, dd.Returns)
-				if err != nil {
-					return err
-				}
-				// All robust series of one fused pass share a single
-				// stats object; find it past any Pearson series and
-				// count it once.
-				for _, cs := range css {
-					if cs.Robust != nil {
-						warmMu.Lock()
-						warm.Merge(cs.Robust)
-						warmMu.Unlock()
-						break
-					}
-				}
-			}
-			for ti, t := range types {
-				for _, u := range needed[t] {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					p := plan.Param(u.Param)
-					e := Entry{U: plan.UnitID(u), Rets: make([][]float64, hi-lo)}
-					var unitTrades int64
-					for i, pid := range blockPairs {
-						row := rowOf(i)
-						if row < 0 {
-							e.Rets[i] = backtest.TradeReturns(cfg, nil)
-							continue
-						}
-						cs := css[ti]
-						pr := pairs[pid]
-						tr, err := strategy.RunDay(p, cs.Corr[row], cs.FirstS, dd.PG, pr.I, pr.J, u.Day)
-						if err != nil {
-							return err
-						}
-						e.Rets[i] = backtest.TradeReturns(cfg, tr)
-						unitTrades += int64(len(e.Rets[i]))
-					}
-					if err := journal.Append(e); err != nil {
-						return err
-					}
-					trades.Add(unitTrades)
-					meter.Add(1)
-					executed.Add(1)
-					emitProgress()
-				}
-			}
-		}
-		return nil
+			trades.Add(unitTrades)
+			meter.Add(1)
+			executed.Add(1)
+			emitProgress()
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -395,9 +230,7 @@ func Run(ctx context.Context, rc RunConfig) (*RunStats, error) {
 
 	stats.Trades = trades.Load()
 	stats.UnitsExecuted = int(executed.Load())
-	warmMu.Lock()
-	stats.Warm = summarize(&warm)
-	warmMu.Unlock()
+	stats.Warm = runner.WarmStats()
 	finished := stats.UnitsSkipped+stats.UnitsExecuted == shardUnits && !stats.Paused
 	snap := meter.Snapshot()
 	info := ProgressInfo{

@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# Distributed sweep farm smoke: a coordinator plus two local workers —
+# one on a chaos-injected link, one SIGKILLed mid-sweep — must still
+# produce merged results byte-identical to the unsharded single-host
+# run, and a re-serve of the finished journal must execute nothing.
+# Run from anywhere inside the repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; kill $(jobs -p) 2>/dev/null || true' EXIT
+
+echo "== farm smoke: coordinator + 2 workers (1 chaotic, 1 SIGKILLed), merged vs single-host"
+go build -o "$tmp/mmbacktest" ./cmd/mmbacktest
+go build -o "$tmp/mmfarm" ./cmd/mmfarm
+
+# 8 stocks x 2 days x 3 levels x 3 types in 8-pair blocks: 8 groups /
+# 72 units — a few seconds of work, so the SIGKILL lands mid-sweep.
+SWEEP="-scale tiny -levels 3 -block 8"
+ADDR=127.0.0.1:9753
+
+# Reference: the uninterrupted single-host run.
+"$tmp/mmbacktest" $SWEEP -json "$tmp/single.json" >/dev/null
+
+# Farm run. The doomed worker is hard-killed shortly after it starts;
+# its leases are reclaimed and the chaotic worker (corrupted and cut
+# every few KB, reconnecting each time) finishes the sweep.
+"$tmp/mmfarm" serve -listen $ADDR -journal "$tmp/farm.journal" $SWEEP \
+    -ttl 2s -merge-out "$tmp/merged.json" -quiet > "$tmp/serve.log" 2>&1 &
+serve_pid=$!
+sleep 0.3
+
+"$tmp/mmfarm" work -connect $ADDR $SWEEP -name doomed -quiet > "$tmp/doomed.log" 2>&1 &
+doomed_pid=$!
+"$tmp/mmfarm" work -connect $ADDR $SWEEP -name chaotic -quiet \
+    -chaos 'seed=11,corrupt=16384,cut=65536' > "$tmp/chaotic.log" 2>&1 &
+
+sleep 1.5
+kill -9 "$doomed_pid" 2>/dev/null || true
+
+wait "$serve_pid" || { echo "farm smoke: coordinator failed:"; cat "$tmp/serve.log"; exit 1; } >&2
+
+cmp "$tmp/single.json" "$tmp/merged.json" || {
+    echo "farm smoke: merged farm output differs from single-host run" >&2
+    exit 1
+}
+
+# The kill must actually have cost the coordinator a lease (reclaimed
+# on disconnect or expired by TTL) — otherwise the recovery path was
+# never on the hook.
+grep -Eq 'farm\.lease_(reclaims|expiries) = [1-9]' "$tmp/serve.log" || {
+    echo "farm smoke: SIGKILL never interrupted a leased group; recovery untested:" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+}
+
+# Re-serving the finished journal must restore everything and execute
+# nothing (no listener traffic needed: it exits immediately).
+"$tmp/mmfarm" serve -listen $ADDR -journal "$tmp/farm.journal" $SWEEP -quiet > "$tmp/reserve.log" 2>&1
+grep -q ' 0 from 0 worker' "$tmp/reserve.log" || {
+    echo "farm smoke: re-serve of a complete journal executed units:" >&2
+    cat "$tmp/reserve.log" >&2
+    exit 1
+}
+
+echo "farm smoke: OK (SIGKILL + chaos farm output byte-identical to single-host; finished journal re-serves as a no-op)"

@@ -38,6 +38,9 @@ go test -race ./internal/feed ./internal/supervise ./internal/chaos
 echo "== go test -race ./internal/broker (signal broker focus)"
 go test -race ./internal/broker
 
+echo "== go test -race ./internal/farm ./internal/feed (distributed sweep farm focus)"
+go test -race ./internal/farm ./internal/feed
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -47,6 +50,7 @@ go test -run '^$' -bench . -benchtime 1x ./...
 sh scripts/sweep_smoke.sh
 sh scripts/chaos_smoke.sh
 sh scripts/broker_smoke.sh
+sh scripts/farm_smoke.sh
 
 echo "== bench gate: fresh kernel ratios + scaling efficiency vs committed baselines"
 bench_tmp=$(mktemp /tmp/mm_bench_gate.XXXXXX.json)
