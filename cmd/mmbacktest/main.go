@@ -32,6 +32,7 @@ import (
 
 	"marketminer"
 	"marketminer/internal/backtest"
+	"marketminer/internal/corr"
 	"marketminer/internal/prof"
 	"marketminer/internal/report"
 	"marketminer/internal/screen"
@@ -61,6 +62,7 @@ type options struct {
 	screenMin    int     // SSD pre-screening: minimum surviving pairs
 	screenStride int     // SSD pre-screening: path subsample stride
 	float32Lane  bool    // approximate float32 robust iteration lane
+	simdMode     string  // robust-kernel SIMD dispatch: auto | off
 }
 
 func main() {
@@ -83,6 +85,7 @@ func main() {
 	flag.IntVar(&o.screenMin, "screen-min", 0, "pre-screen pairs: never prune below this many surviving pairs")
 	flag.IntVar(&o.screenStride, "screen-stride", 1, "pre-screen pairs: subsample the price path at this stride")
 	flag.BoolVar(&o.float32Lane, "f32", false, "use the approximate float32 robust iteration lane (float64 polish; see DESIGN.md §8)")
+	flag.StringVar(&o.simdMode, "simd", "auto", "robust-kernel SIMD dispatch: auto | off (f64 results are bit-identical either way)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mmbacktest:", err)
@@ -97,6 +100,12 @@ func run(o options) error {
 			fmt.Printf("%2d: %v\n", i+1, p)
 		}
 		return nil
+	}
+
+	if o.simdMode != "" {
+		if err := corr.SetSIMDMode(o.simdMode); err != nil {
+			return err
+		}
 	}
 
 	var sc marketminer.Scale
@@ -136,6 +145,7 @@ func run(o options) error {
 	}
 	fmt.Printf("sweep: %d stocks (%d pairs) x %d days x %d levels x 3 types\n",
 		cfg.Market.Universe.Len(), cfg.Market.Universe.NumPairs(), cfg.Market.Days, nLevels)
+	fmt.Printf("robust kernel SIMD: %s (host supports %s)\n", corr.SIMDTier(), corr.SIMDSupported())
 
 	stopProf, err := prof.Start(o.cpuProfile, o.memProfile)
 	if err != nil {

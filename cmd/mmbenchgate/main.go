@@ -9,6 +9,15 @@
 // It can also gate the BENCH_scaling.json parallel-efficiency curve:
 // pass -fresh-scaling/-committed-scaling and every non-oversubscribed
 // worker point's efficiency is held to the same min-frac ratio rule.
+// Points that cannot be compared (oversubscribed, or absent from the
+// committed curve) are reported in a skip summary, and the gate fails
+// outright when zero comparable points remain — an all-skip run gated
+// nothing and must not pass silently.
+//
+// v5 schemas add a simd section (the lane-major AVX2 kernel's speedup
+// over the scalar batched kernel, the f32 8-wide lane, and the pack
+// overhead share); those checks skip when the fresh run dispatched the
+// scalar tier, so non-AVX2 hosts still gate everything else.
 //
 // Usage:
 //
@@ -42,6 +51,13 @@ type gateReport struct {
 		Float32Speedup       float64 `json:"float32_speedup"`
 		F32MaxAbsRhoDelta    float64 `json:"f32_max_abs_rho_delta"`
 	} `json:"batch"`
+	SIMD struct {
+		DispatchTier          string  `json:"dispatch_tier"`
+		RobustSIMDSpeedup     float64 `json:"robust_simd_speedup"`
+		F32SIMDSpeedup        float64 `json:"f32_simd_speedup"`
+		F32SIMDMaxAbsRhoDelta float64 `json:"f32_simd_max_abs_rho_delta"`
+		PackOverheadFrac      float64 `json:"pack_overhead_frac"`
+	} `json:"simd"`
 	Screen struct {
 		PruneRatio      float64 `json:"screen_prune_ratio"`
 		PipelineSpeedup float64 `json:"pipeline_speedup"`
@@ -108,6 +124,65 @@ func gate(fresh, committed *gateReport, cfg gateConfig) ([]check, bool) {
 	ratio("screen.screen_prune_ratio", fresh.Screen.PruneRatio, committed.Screen.PruneRatio)
 	ratio("screen.pipeline_speedup", fresh.Screen.PipelineSpeedup, committed.Screen.PipelineSpeedup)
 
+	// The SIMD kernel speedups compare the vector tier against the
+	// scalar batched kernel inside the fresh run. A host (or build)
+	// that dispatched scalar measures ≈1.0 by construction — that is
+	// the fallback working, not a regression — so those ratios are
+	// gated only when the fresh run actually ran the vector tier.
+	simdRatio := func(name string, f, c float64) {
+		ck := check{name: name, fresh: f, floor: cfg.minFrac * c}
+		switch {
+		case fresh.SIMD.DispatchTier != "" && fresh.SIMD.DispatchTier != "avx2":
+			ck.ok = true
+			ck.skipNote = "fresh run dispatched " + fresh.SIMD.DispatchTier
+		case c == 0:
+			ck.ok = true
+			ck.skipNote = "not in committed baseline"
+		default:
+			ck.ok = f >= ck.floor
+		}
+		checks = append(checks, ck)
+	}
+	simdRatio("simd.robust_simd_speedup", fresh.SIMD.RobustSIMDSpeedup, committed.SIMD.RobustSIMDSpeedup)
+	simdRatio("simd.f32_simd_speedup", fresh.SIMD.F32SIMDSpeedup, committed.SIMD.F32SIMDSpeedup)
+
+	// Pack overhead is a cost fraction, so it gates as a ceiling: the
+	// transpose share of vector batch time must not balloon past the
+	// committed share by more than the 1/minFrac jitter allowance.
+	pack := check{
+		name:    "simd.pack_overhead_frac",
+		fresh:   fresh.SIMD.PackOverheadFrac,
+		floor:   committed.SIMD.PackOverheadFrac / cfg.minFrac,
+		ceiling: true,
+	}
+	switch {
+	case fresh.SIMD.DispatchTier != "" && fresh.SIMD.DispatchTier != "avx2":
+		pack.ok = true
+		pack.skipNote = "fresh run dispatched " + fresh.SIMD.DispatchTier
+	case committed.SIMD.PackOverheadFrac == 0:
+		pack.ok = true
+		pack.skipNote = "not in committed baseline"
+	default:
+		pack.ok = pack.fresh <= pack.floor
+	}
+	checks = append(checks, pack)
+
+	// The f32-on-SIMD accuracy delta is an absolute ceiling like the
+	// scalar-lane one: the 8-wide kernel must hold the same contract.
+	f32simd := check{
+		name:    "simd.f32_simd_max_abs_rho_delta",
+		fresh:   fresh.SIMD.F32SIMDMaxAbsRhoDelta,
+		floor:   cfg.f32Tol,
+		ceiling: true,
+	}
+	if fresh.SIMD.F32SIMDSpeedup == 0 {
+		f32simd.ok = true
+		f32simd.skipNote = "not in fresh measurement"
+	} else {
+		f32simd.ok = f32simd.fresh <= f32simd.floor
+	}
+	checks = append(checks, f32simd)
+
 	// The float32 accuracy delta is gated as an absolute ceiling — but
 	// only when the fresh run measured the lane at all (a zero delta
 	// with a zero float32 speedup means the section is absent).
@@ -151,14 +226,16 @@ func gate(fresh, committed *gateReport, cfg gateConfig) ([]check, bool) {
 // measure scheduler behaviour, not hardware scaling, and are skipped;
 // so are worker counts absent from the committed curve (host with a
 // different core count, or an older doubling-subsampled baseline).
-func gateScaling(fresh, committed *scalingGateReport, cfg gateConfig) []check {
+// Alongside the checks it returns how many points were actually
+// compared: a run where every point skipped gated nothing, and the
+// caller must fail rather than report a hollow PASS.
+func gateScaling(fresh, committed *scalingGateReport, cfg gateConfig) (checks []check, comparable, skipped int) {
 	byWorkers := make(map[int]float64)
 	for _, p := range committed.Points {
 		if !p.Oversubscribed {
 			byWorkers[p.Workers] = p.Efficiency
 		}
 	}
-	var checks []check
 	for _, p := range fresh.Points {
 		ck := check{
 			name:  fmt.Sprintf("scaling.efficiency[w=%d]", p.Workers),
@@ -176,9 +253,14 @@ func gateScaling(fresh, committed *scalingGateReport, cfg gateConfig) []check {
 			ck.floor = cfg.minFrac * c
 			ck.ok = ck.fresh >= ck.floor
 		}
+		if ck.skipNote != "" {
+			skipped++
+		} else {
+			comparable++
+		}
 		checks = append(checks, ck)
 	}
-	return checks
+	return checks, comparable, skipped
 }
 
 func load(path string) (*gateReport, error) {
@@ -270,7 +352,13 @@ func main() {
 		}
 		fmt.Printf("scaling gate: fresh %s (%s, numcpu %d) vs committed %s (%s, numcpu %d)\n",
 			*freshScaling, fs.Schema, fs.NumCPU, *committedScaling, cs.Schema, cs.NumCPU)
-		pass = printChecks(gateScaling(fs, cs, cfg), pass)
+		scChecks, comparable, skipped := gateScaling(fs, cs, cfg)
+		pass = printChecks(scChecks, pass)
+		fmt.Printf("  %d scaling point(s) compared, %d skipped (oversubscribed/missing)\n", comparable, skipped)
+		if comparable == 0 {
+			fmt.Println("  FAIL scaling: zero comparable points — the curve was not gated at all")
+			pass = false
+		}
 	}
 
 	if !pass {

@@ -81,9 +81,10 @@ func TestGateSkipsFieldsAbsentFromBaseline(t *testing.T) {
 		}
 	}
 	// engine pearson+fused, batch batched+f32 speedups, screen
-	// prune+pipeline, and the f32 accuracy delta (lane not measured).
-	if skips != 7 {
-		t.Fatalf("%d checks skipped, want 7: %+v", skips, checks)
+	// prune+pipeline, the f32 accuracy delta (lane not measured), and
+	// the four simd checks (section absent from both reports).
+	if skips != 11 {
+		t.Fatalf("%d checks skipped, want 11: %+v", skips, checks)
 	}
 }
 
@@ -125,6 +126,62 @@ func TestGateFailsOnF32AccuracyBreach(t *testing.T) {
 	}
 }
 
+// simdReportFix extends fullReport with a v5 simd section.
+func simdReportFix(tier string, robust, f32, f32Delta, packFrac float64) *gateReport {
+	r := fullReport(2.9, 0.998, 1.8, 1.1, 1.1, 1.2, 4e-6, 0.5, 2.2)
+	r.SIMD.DispatchTier = tier
+	r.SIMD.RobustSIMDSpeedup = robust
+	r.SIMD.F32SIMDSpeedup = f32
+	r.SIMD.F32SIMDMaxAbsRhoDelta = f32Delta
+	r.SIMD.PackOverheadFrac = packFrac
+	return r
+}
+
+func TestGateFailsOnSIMDSpeedupCollapse(t *testing.T) {
+	committed := simdReportFix("avx2", 1.9, 1.8, 5e-6, 0.01)
+	fresh := simdReportFix("avx2", 1.0, 1.8, 5e-6, 0.01) // vector win gone
+	checks, pass := gate(fresh, committed, cfg)
+	if pass {
+		t.Fatal("gate passed a robust_simd_speedup collapse")
+	}
+	for _, c := range checks {
+		if c.name == "simd.robust_simd_speedup" && c.ok {
+			t.Fatal("robust_simd_speedup check did not fail")
+		}
+	}
+}
+
+func TestGateSkipsSIMDOnScalarDispatch(t *testing.T) {
+	// A host without AVX2 measures speedups ≈1.0 against an avx2
+	// baseline: that is the fallback working, and the gate must skip
+	// the simd ratios rather than fail them.
+	committed := simdReportFix("avx2", 1.9, 1.8, 5e-6, 0.01)
+	fresh := simdReportFix("scalar", 1.0, 1.0, 5e-6, 0)
+	checks, pass := gate(fresh, committed, cfg)
+	if !pass {
+		t.Fatalf("gate failed a scalar-dispatch fresh run: %+v", checks)
+	}
+	for _, c := range checks {
+		if c.name == "simd.robust_simd_speedup" && c.skipNote == "" {
+			t.Fatalf("robust_simd_speedup was gated on a scalar host: %+v", c)
+		}
+	}
+}
+
+func TestGateFailsOnPackOverheadBlowup(t *testing.T) {
+	committed := simdReportFix("avx2", 1.9, 1.8, 5e-6, 0.02)
+	fresh := simdReportFix("avx2", 1.9, 1.8, 5e-6, 0.30) // transpose cost ballooned
+	checks, pass := gate(fresh, committed, cfg)
+	if pass {
+		t.Fatal("gate passed a pack-overhead blowup")
+	}
+	for _, c := range checks {
+		if c.name == "simd.pack_overhead_frac" && c.ok {
+			t.Fatal("pack_overhead_frac check did not fail")
+		}
+	}
+}
+
 func scalingFixture(numCPU int, effs []float64, oversub []bool) *scalingGateReport {
 	r := &scalingGateReport{Schema: "marketminer/bench_scaling/v2", NumCPU: numCPU}
 	for i, e := range effs {
@@ -143,9 +200,13 @@ func TestGateScalingSkipsOversubscribedAndMissing(t *testing.T) {
 	// whose efficiency is necessarily poor; points 3-4 are absent from
 	// the committed curve anyway.
 	fresh := scalingFixture(2, []float64{1.0, 0.85, 0.4, 0.3}, []bool{false, false, true, true})
-	checks := printableOK(t, gateScaling(fresh, committed, cfg))
+	checks, comparable, skipped := gateScaling(fresh, committed, cfg)
+	printableOK(t, checks)
 	if n := len(checks); n != 4 {
 		t.Fatalf("%d checks, want 4", n)
+	}
+	if comparable != 2 || skipped != 2 {
+		t.Fatalf("comparable=%d skipped=%d, want 2/2", comparable, skipped)
 	}
 	for _, c := range checks[2:] {
 		if c.skipNote == "" {
@@ -154,11 +215,31 @@ func TestGateScalingSkipsOversubscribedAndMissing(t *testing.T) {
 	}
 }
 
+// TestGateScalingCountsZeroComparable pins the hollow-PASS fix: a fresh
+// curve whose every point is oversubscribed or missing from the
+// baseline must report zero comparable points, so main can fail instead
+// of printing PASS over an ungated curve.
+func TestGateScalingCountsZeroComparable(t *testing.T) {
+	committed := scalingFixture(2, []float64{1.0, 0.9}, []bool{false, false})
+	// Every fresh point is either oversubscribed or at a worker count
+	// the committed curve lacks.
+	fresh := scalingFixture(8, []float64{0, 0, 0.7, 0.6}, []bool{true, true, false, false})
+	fresh.Points[0].Workers = 9
+	fresh.Points[1].Workers = 10
+	fresh.Points[2].Workers = 3
+	fresh.Points[3].Workers = 4
+	checks, comparable, skipped := gateScaling(fresh, committed, cfg)
+	if comparable != 0 || skipped != len(checks) {
+		t.Fatalf("comparable=%d skipped=%d (of %d), want 0/%d", comparable, skipped, len(checks), len(checks))
+	}
+}
+
 func TestGateScalingFailsOnEfficiencyCollapse(t *testing.T) {
 	committed := scalingFixture(2, []float64{1.0, 0.9}, []bool{false, false})
 	fresh := scalingFixture(2, []float64{1.0, 0.3}, []bool{false, false})
+	checks, _, _ := gateScaling(fresh, committed, cfg)
 	pass := true
-	for _, c := range gateScaling(fresh, committed, cfg) {
+	for _, c := range checks {
 		pass = pass && c.ok
 	}
 	if pass {

@@ -80,10 +80,36 @@ type batchReport struct {
 	MeanActiveLanes float64 `json:"mean_active_lanes"`
 }
 
+// simdReport isolates the lane-major AVX2 backend: the same
+// single-threaded batched fused day as the batch section, with the
+// vector kernels on, against the scalar batched kernel (batch section
+// numbers, which stay pinned to DisableSIMD for cross-version
+// comparability). PackOverheadFrac is the fraction of vector batch
+// wall-clock spent transposing windows into the lane-major tiles,
+// from the SetSIMDProfiling telemetry.
+type simdReport struct {
+	// DispatchTier is the tier actually used for these numbers;
+	// SupportedTier is what the host could do (they differ only when
+	// something force-disabled SIMD, which would make RobustSIMDSpeedup
+	// meaninglessly 1.0 — the gate skips when scalar).
+	DispatchTier  string `json:"dispatch_tier"`
+	SupportedTier string `json:"supported_tier"`
+	// Whole-day fused Maronna+Combined pass, 1 worker, vector kernels.
+	RobustSIMDDayNs   int64   `json:"robust_simd_day_ns"`
+	RobustSIMDSpeedup float64 `json:"robust_simd_speedup"`
+	// The float32 iteration lane on the 8-wide kernels.
+	F32SIMDDayNs          int64   `json:"f32_simd_day_ns"`
+	F32SIMDSpeedup        float64 `json:"f32_simd_speedup"`
+	F32SIMDMaxAbsRhoDelta float64 `json:"f32_simd_max_abs_rho_delta"`
+	// Transpose cost share of the vector batch runs.
+	PackOverheadFrac float64 `json:"pack_overhead_frac"`
+}
+
 // screenReport measures the SSD pre-screening stage and the full
 // screened pipeline: screen the triangle, then run the batched float32
-// fused pass over the survivors. PipelineSpeedup versus the unscreened
-// per-pair reference is the day-level headline of the batching PR.
+// fused pass over the survivors (vector kernels included — the
+// pipeline is the best-available configuration). PipelineSpeedup
+// versus the unscreened per-pair reference is the day-level headline.
 type screenReport struct {
 	TopFrac         float64 `json:"top_frac"`
 	PairsTotal      int     `json:"pairs_total"`
@@ -134,6 +160,7 @@ type benchReport struct {
 	Robust robustReport `json:"robust"`
 	Engine engineReport `json:"engine"`
 	Batch  batchReport  `json:"batch"`
+	SIMD   simdReport   `json:"simd"`
 	Screen screenReport `json:"screen"`
 	Sweep  sweepReport  `json:"sweep"`
 }
@@ -171,7 +198,11 @@ func dayBenchMin(n int, f func() error) int64 {
 // pipeline headline.
 func measureBatchAndScreen(rep *benchReport, dd *backtest.DayData) error {
 	fusedTypes := []corr.Type{corr.Maronna, corr.Combined}
-	ec1 := corr.EngineConfig{M: benchWindowM, Workers: 1}
+	// The batch section is pinned to the scalar tier so its ratios keep
+	// measuring the structural batching win and stay comparable across
+	// versions and hosts; the vector kernels are isolated separately in
+	// the simd section.
+	ec1 := corr.EngineConfig{M: benchWindowM, Workers: 1, DisableSIMD: true}
 	ecF32 := ec1
 	ecF32.Float32 = true
 	const reps = 3
@@ -237,6 +268,7 @@ func measureBatchAndScreen(rep *benchReport, dd *backtest.DayData) error {
 		return err
 	})
 	ecPipe := ecF32
+	ecPipe.DisableSIMD = false // pipeline runs the best available tier
 	ecPipe.Pairs = keep
 	rep.Screen.PipelineDayNs = dayBenchMin(reps, func() error {
 		if _, _, err := screen.Select(scfg, dd.Returns); err != nil {
@@ -247,6 +279,73 @@ func measureBatchAndScreen(rep *benchReport, dd *backtest.DayData) error {
 	})
 	if rep.Screen.PipelineDayNs > 0 {
 		rep.Screen.PipelineSpeedup = float64(rep.Batch.FusedDayRefNs) / float64(rep.Screen.PipelineDayNs)
+	}
+	return nil
+}
+
+// measureSIMD fills the simd section: the batched fused day with the
+// vector kernels on, against the scalar-tier batch numbers measured
+// above, plus the 8-wide float32 lane, its accuracy delta against the
+// exact engine, and the transpose (pack) share of vector batch time.
+// On hosts without AVX2 both tiers run scalar: speedups come out ≈1.0
+// and the gate skips them by the dispatch_tier field.
+func measureSIMD(rep *benchReport, dd *backtest.DayData) error {
+	rep.SIMD.DispatchTier = corr.SIMDTier()
+	rep.SIMD.SupportedTier = corr.SIMDSupported()
+
+	fusedTypes := []corr.Type{corr.Maronna, corr.Combined}
+	ec1 := corr.EngineConfig{M: benchWindowM, Workers: 1}
+	ecF32 := ec1
+	ecF32.Float32 = true
+	const reps = 3
+
+	rep.SIMD.RobustSIMDDayNs = dayBenchMin(reps, func() error {
+		_, err := corr.ComputeMatrixSeries(ec1, fusedTypes, dd.Returns)
+		return err
+	})
+	rep.SIMD.F32SIMDDayNs = dayBenchMin(reps, func() error {
+		_, err := corr.ComputeMatrixSeries(ecF32, fusedTypes, dd.Returns)
+		return err
+	})
+	if rep.SIMD.RobustSIMDDayNs > 0 {
+		rep.SIMD.RobustSIMDSpeedup = float64(rep.Batch.FusedDayNs) / float64(rep.SIMD.RobustSIMDDayNs)
+	}
+	if rep.SIMD.F32SIMDDayNs > 0 {
+		rep.SIMD.F32SIMDSpeedup = float64(rep.Batch.Float32DayNs) / float64(rep.SIMD.F32SIMDDayNs)
+	}
+
+	// f32-on-SIMD accuracy against the exact engine (whose output is
+	// tier-independent by the bit-identity contract), and the pack
+	// overhead from one profiled run of each path.
+	corr.SetSIMDProfiling(true)
+	defer corr.SetSIMDProfiling(false)
+	exact, err := corr.ComputeMatrixSeries(ec1, fusedTypes, dd.Returns)
+	if err != nil {
+		return err
+	}
+	appx, err := corr.ComputeMatrixSeries(ecF32, fusedTypes, dd.Returns)
+	if err != nil {
+		return err
+	}
+	for oi := range exact {
+		for k := range exact[oi].Corr {
+			for w := range exact[oi].Corr[k] {
+				d := math.Abs(exact[oi].Corr[k][w] - appx[oi].Corr[k][w])
+				if d > rep.SIMD.F32SIMDMaxAbsRhoDelta {
+					rep.SIMD.F32SIMDMaxAbsRhoDelta = d
+				}
+			}
+		}
+	}
+	var packNs, runNs int64
+	for _, series := range [][]*corr.Series{exact, appx} {
+		if st := series[0].Robust; st != nil {
+			packNs += st.SIMDPackNs
+			runNs += st.SIMDRunNs
+		}
+	}
+	if total := packNs + runNs; total > 0 {
+		rep.SIMD.PackOverheadFrac = float64(packNs) / float64(total)
 	}
 	return nil
 }
@@ -273,7 +372,7 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 	steps := len(x) - benchWindowM
 
 	rep := benchReport{
-		Schema:            "marketminer/bench_corr/v4",
+		Schema:            "marketminer/bench_corr/v5",
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		CPUModel:          cpuModel(),
 		GitRevision:       gitRevision(),
@@ -441,6 +540,9 @@ func writeBenchJSON(path string, dd *backtest.DayData, workers int, sweep sweepR
 	}
 
 	if err := measureBatchAndScreen(&rep, dd); err != nil {
+		return err
+	}
+	if err := measureSIMD(&rep, dd); err != nil {
 		return err
 	}
 

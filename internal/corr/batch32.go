@@ -2,6 +2,7 @@ package corr
 
 import (
 	"math"
+	"time"
 )
 
 // The float32 iteration lane. Profiling puts the robust day almost
@@ -61,7 +62,27 @@ type pairBatch32 struct {
 	ix, iy        []ColdInit
 	haveInit      []bool
 	warm          []Fit // warm fit copies for the exact fallback
+
+	// SIMD lane-major state, mirroring pairBatch's but oct-blocked for
+	// the 8-wide f32 kernels: element i of the lane at position l lives
+	// at xt32[(l/8)*8*m + i*8 + l%8]. No weight tile — like the scalar
+	// maronnaScatter32, the vector scatter records no weights (the
+	// float64 polish writes the ones that matter).
+	packed bool
+	deferC bool
+
+	xt32, yt32 []float32
+	dead, skip []bool
+
+	li11, li22, li12 []float32
+	lsw, lsx, lsy    []float32
+	lt1n, lt2n       []float32
+	ln11, ln22, ln12 []float32
 }
+
+// simdMinLanes32 is the smallest active set the f32 phased path packs
+// for: one full oct.
+const simdMinLanes32 = 8
 
 // float32Tol is the convergence tolerance of the single-precision
 // sweeps: ~100 ULPs of a unit-scale scatter, comfortably above float32
@@ -139,6 +160,24 @@ func (b32 *pairBatch32) grow(m, lanes int) {
 	b32.iy = make([]ColdInit, lanes)
 	b32.haveInit = make([]bool, lanes)
 	b32.warm = make([]Fit, lanes)
+	b32.dead = make([]bool, lanes)
+	b32.skip = make([]bool, lanes)
+	if b32.parent.simd {
+		tile := (lanes + 7) / 8 * 8 * m
+		b32.xt32 = make([]float32, tile)
+		b32.yt32 = make([]float32, tile)
+		b32.li11 = make([]float32, lanes)
+		b32.li22 = make([]float32, lanes)
+		b32.li12 = make([]float32, lanes)
+		b32.lsw = make([]float32, lanes)
+		b32.lsx = make([]float32, lanes)
+		b32.lsy = make([]float32, lanes)
+		b32.lt1n = make([]float32, lanes)
+		b32.lt2n = make([]float32, lanes)
+		b32.ln11 = make([]float32, lanes)
+		b32.ln22 = make([]float32, lanes)
+		b32.ln12 = make([]float32, lanes)
+	}
 }
 
 // add enqueues one window. x32/y32 must be the single-precision
@@ -152,6 +191,8 @@ func (b32 *pairBatch32) add(x32, y32 []float32, x64, y64 []float64, warm *Fit, i
 	// rows would alias results published by immediately-resolved lanes.
 	b32.wrow[l] = b32.wback[tag*b32.m : (tag+1)*b32.m : (tag+1)*b32.m]
 	b32.wFresh[l] = false
+	b32.dead[l] = false
+	b32.skip[l] = false
 	b32.iters[l] = 0
 	b32.havePrev[l] = false
 	if warm != nil {
@@ -225,6 +266,10 @@ func (b32 *pairBatch32) run(st *RobustStats) {
 	if len(b32.parent.sbuf) < b32.m {
 		b32.parent.sbuf = make([]float64, b32.m)
 	}
+	if b32.parent.simd && b32.active >= simdMinLanes32 {
+		b32.runSIMD(st)
+		return
+	}
 	for b32.active > 0 {
 		if st != nil {
 			st.recordSweep(b32.active)
@@ -235,6 +280,219 @@ func (b32 *pairBatch32) run(st *RobustStats) {
 				l++
 			}
 		}
+	}
+}
+
+// runSIMD is the f32 lane's phased sweep, the oct-wide analogue of
+// pairBatch.runSIMD: scalar step bookkeeping per lane, one 8-wide
+// kernel call per full oct for each weight pass, scalar fallback for
+// the ragged tail, deferred compaction at sweep end. The f32 lane has
+// no bit-identity contract, but the per-lane operation order still
+// matches maronnaLocation32/maronnaScatter32; polish and the exact
+// fallback stay scalar float64 as before.
+func (b32 *pairBatch32) runSIMD(st *RobustStats) {
+	prof := st != nil && simdProfiling.Load()
+	var t0 time.Time
+	if prof {
+		t0 = time.Now()
+	}
+	b32.pack()
+	if prof {
+		now := time.Now()
+		st.SIMDPackNs += now.Sub(t0).Nanoseconds()
+		t0 = now
+	}
+	b32.deferC = true
+	m := b32.m
+	for b32.active > 0 {
+		if st != nil {
+			st.recordSweep(b32.active)
+		}
+		n := b32.active
+		for l := 0; l < n; l++ {
+			b32.skip[l] = false
+			b32.phaseInverse(l, st)
+		}
+		full := n / 8
+		for q := 0; q < full; q++ {
+			o := q * 8
+			maronnaLocation8f(&b32.xt32[o*m], &b32.yt32[o*m], m,
+				&b32.t1[o], &b32.t2[o], &b32.li11[o], &b32.li22[o], &b32.li12[o],
+				b32.k, b32.k2, &b32.lsw[o], &b32.lsx[o], &b32.lsy[o])
+		}
+		for l := full * 8; l < n; l++ {
+			if b32.skip[l] {
+				continue
+			}
+			b32.lsw[l], b32.lsx[l], b32.lsy[l] = maronnaLocation32(b32.x32[l], b32.y32[l],
+				b32.t1[l], b32.t2[l], b32.li11[l], b32.li22[l], b32.li12[l], b32.k, b32.k2)
+		}
+		for l := 0; l < n; l++ {
+			if b32.skip[l] {
+				continue
+			}
+			b32.phaseCenter(l, st)
+		}
+		for q := 0; q < full; q++ {
+			o := q * 8
+			maronnaScatter8f(&b32.xt32[o*m], &b32.yt32[o*m], m,
+				&b32.lt1n[o], &b32.lt2n[o], &b32.li11[o], &b32.li22[o], &b32.li12[o],
+				b32.k2, &b32.ln11[o], &b32.ln22[o], &b32.ln12[o])
+		}
+		for l := full * 8; l < n; l++ {
+			if b32.skip[l] {
+				continue
+			}
+			b32.ln11[l], b32.ln22[l], b32.ln12[l] = maronnaScatter32(b32.x32[l], b32.y32[l],
+				b32.lt1n[l], b32.lt2n[l], b32.li11[l], b32.li22[l], b32.li12[l], b32.k2)
+		}
+		for l := 0; l < n; l++ {
+			if b32.skip[l] {
+				continue
+			}
+			b32.phaseAdvance(l, st)
+		}
+		b32.compactDead()
+	}
+	b32.deferC = false
+	b32.packed = false
+	if prof {
+		st.SIMDRunNs += time.Since(t0).Nanoseconds()
+	}
+}
+
+// pack transposes the active lanes' float32 windows into the
+// oct-blocked tiles.
+func (b32 *pairBatch32) pack() {
+	m := b32.m
+	for l := 0; l < b32.active; l++ {
+		base := (l &^ 7) * m
+		s := l & 7
+		x, y := b32.x32[l][:m], b32.y32[l][:m]
+		for i := 0; i < m; i++ {
+			b32.xt32[base+i*8+s] = x[i]
+			b32.yt32[base+i*8+s] = y[i]
+		}
+		b32.dead[l] = false
+		b32.skip[l] = false
+	}
+	b32.packed = true
+}
+
+// phaseInverse is step()'s opening for the phased sweep.
+func (b32 *pairBatch32) phaseInverse(l int, st *RobustStats) {
+	v11, v22, v12 := b32.v11[l], b32.v22[l], b32.v12[l]
+	det := v11*v22 - v12*v12
+	if det <= 0 || v11 <= 0 || v22 <= 0 {
+		if b32.strict[l] {
+			b32.startCold(l, st)
+		} else {
+			b32.fallbackExact(l, st)
+		}
+		b32.skip[l] = true
+		return
+	}
+	b32.iters[l]++
+	b32.li11[l] = v22 / det
+	b32.li22[l] = v11 / det
+	b32.li12[l] = -v12 / det
+}
+
+// phaseCenter is step()'s middle for the phased sweep.
+func (b32 *pairBatch32) phaseCenter(l int, st *RobustStats) {
+	sw := b32.lsw[l]
+	if sw == 0 {
+		if b32.strict[l] {
+			b32.startCold(l, st)
+		} else {
+			b32.fallbackExact(l, st)
+		}
+		b32.skip[l] = true
+		return
+	}
+	b32.lt1n[l], b32.lt2n[l] = b32.lsx[l]/sw, b32.lsy[l]/sw
+}
+
+// phaseAdvance is step()'s tail for the phased sweep: normalise,
+// converge (into the float64 polish), Anderson, budget.
+func (b32 *pairBatch32) phaseAdvance(l int, st *RobustStats) {
+	v11, v22, v12 := b32.v11[l], b32.v22[l], b32.v12[l]
+	t1, t2 := b32.t1[l], b32.t2[l]
+	t1n, t2n := b32.lt1n[l], b32.lt2n[l]
+	n11, n22, n12 := b32.ln11[l], b32.ln22[l], b32.ln12[l]
+	fn := float32(len(b32.x32[l]))
+	n11 /= fn
+	n22 /= fn
+	n12 /= fn
+
+	den := abs32(v11) + abs32(v22) + abs32(v12)
+	num := abs32(n11-v11) + abs32(n22-v22) + abs32(n12-v12)
+	g := [5]float32{t1n, t2n, n11, n22, n12}
+	f := [5]float32{t1n - t1, t2n - t2, n11 - v11, n22 - v22, n12 - v12}
+	t1, t2 = t1n, t2n
+	v11, v22, v12 = n11, n22, n12
+	if den > 0 && num/den < b32.tol {
+		b32.t1[l], b32.t2[l] = t1, t2
+		b32.v11[l], b32.v22[l], b32.v12[l] = v11, v22, v12
+		b32.polishLane(l, st)
+		b32.skip[l] = true
+		return
+	}
+
+	if b32.havePrev[l] {
+		pf := &b32.pf[l]
+		var fd, dd float32
+		for c := 0; c < 5; c++ {
+			d := f[c] - pf[c]
+			fd += f[c] * d
+			dd += d * d
+		}
+		if dd > 0 {
+			if theta := fd / dd; abs32(theta) < 16 {
+				pg := &b32.pg[l]
+				a1 := t1n - theta*(t1n-pg[0])
+				a2 := t2n - theta*(t2n-pg[1])
+				a11 := n11 - theta*(n11-pg[2])
+				a22 := n22 - theta*(n22-pg[3])
+				a12 := n12 - theta*(n12-pg[4])
+				if a11 > 0 && a22 > 0 && a11*a22-a12*a12 > 0 {
+					t1, t2 = a1, a2
+					v11, v22, v12 = a11, a22, a12
+				}
+			}
+		}
+	}
+	b32.pg[l] = g
+	b32.pf[l] = f
+	b32.havePrev[l] = true
+	b32.t1[l], b32.t2[l] = t1, t2
+	b32.v11[l], b32.v22[l], b32.v12[l] = v11, v22, v12
+
+	if b32.iters[l] >= b32.maxIter {
+		if b32.strict[l] {
+			b32.startCold(l, st)
+		} else {
+			b32.fallbackExact(l, st)
+		}
+		b32.skip[l] = true
+	}
+}
+
+// compactDead swaps lanes finalized during the sweep out of the
+// active set.
+func (b32 *pairBatch32) compactDead() {
+	l := 0
+	for l < b32.active {
+		if !b32.dead[l] {
+			l++
+			continue
+		}
+		last := b32.active - 1
+		if l != last {
+			b32.swapLanes(l, last)
+		}
+		b32.dead[last] = false
+		b32.active = last
 	}
 }
 
@@ -400,6 +658,11 @@ func (b32 *pairBatch32) finalize(l int, f Fit, st *RobustStats) bool {
 	if st != nil {
 		st.record(f, b32.attempted[l])
 	}
+	if b32.deferC {
+		b32.dead[l] = true
+		b32.skip[l] = true
+		return false
+	}
 	last := b32.active - 1
 	if l != last {
 		b32.swapLanes(l, last)
@@ -431,6 +694,24 @@ func (b32 *pairBatch32) swapLanes(i, j int) {
 	b32.iy[i], b32.iy[j] = b32.iy[j], b32.iy[i]
 	b32.haveInit[i], b32.haveInit[j] = b32.haveInit[j], b32.haveInit[i]
 	b32.warm[i], b32.warm[j] = b32.warm[j], b32.warm[i]
+	b32.dead[i], b32.dead[j] = b32.dead[j], b32.dead[i]
+	b32.skip[i], b32.skip[j] = b32.skip[j], b32.skip[i]
+	if b32.packed {
+		b32.swapCols(i, j)
+	}
+}
+
+// swapCols exchanges the packed tile columns of lane positions i and
+// j (no weight tile on the f32 side).
+func (b32 *pairBatch32) swapCols(i, j int) {
+	m := b32.m
+	bi := (i&^7)*m + i&7
+	bj := (j&^7)*m + j&7
+	for t := 0; t < m; t++ {
+		oi, oj := bi+t*8, bj+t*8
+		b32.xt32[oi], b32.xt32[oj] = b32.xt32[oj], b32.xt32[oi]
+		b32.yt32[oi], b32.yt32[oj] = b32.yt32[oj], b32.yt32[oi]
+	}
 }
 
 func abs32(x float32) float32 {

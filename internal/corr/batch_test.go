@@ -127,45 +127,50 @@ func TestBatchDegenerateLanesMatchReference(t *testing.T) {
 	}
 
 	// One batch holding every lane at once, in both insertion orders
-	// (compaction reorders differently, results must not care).
-	for _, reverse := range []bool{false, true} {
-		b := newPairBatch(est.Config())
-		b.begin(m, len(lanes))
-		st := &RobustStats{IterHist: make([]int, est.Config().MaxIter+1)}
-		for i := range lanes {
-			ln := lanes[i]
-			if reverse {
-				ln = lanes[len(lanes)-1-i]
+	// (compaction reorders differently, results must not care) and
+	// under both dispatch tiers (the vector path must survive the same
+	// degeneracy zoo bit-for-bit; on hosts without AVX2 both passes run
+	// scalar, which is still a valid run of the contract).
+	for _, simd := range []bool{false, true} {
+		for _, reverse := range []bool{false, true} {
+			b := newPairBatch(est.Config(), simd)
+			b.begin(m, len(lanes))
+			st := &RobustStats{IterHist: make([]int, est.Config().MaxIter+1)}
+			for i := range lanes {
+				ln := lanes[i]
+				if reverse {
+					ln = lanes[len(lanes)-1-i]
+				}
+				tag := i
+				if reverse {
+					tag = len(lanes) - 1 - i
+				}
+				b.add(ln.x, ln.y, ln.warm, nil, nil, tag, st)
 			}
-			tag := i
-			if reverse {
-				tag = len(lanes) - 1 - i
-			}
-			b.add(ln.x, ln.y, ln.warm, nil, nil, tag, st)
-		}
-		b.run(st)
+			b.run(st)
 
-		for i, ln := range lanes {
-			if !fitsBitEqual(b.fits[i], wantFits[i]) {
-				t.Fatalf("reverse=%v lane %q: batch fit %+v, reference %+v", reverse, ln.name, b.fits[i], wantFits[i])
-			}
-			for j := range wantW[i] {
-				if math.Float64bits(b.wOut[i][j]) != math.Float64bits(wantW[i][j]) {
-					t.Fatalf("reverse=%v lane %q: weight[%d] = %v, reference %v", reverse, ln.name, j, b.wOut[i][j], wantW[i][j])
+			for i, ln := range lanes {
+				if !fitsBitEqual(b.fits[i], wantFits[i]) {
+					t.Fatalf("simd=%v reverse=%v lane %q: batch fit %+v, reference %+v", simd, reverse, ln.name, b.fits[i], wantFits[i])
+				}
+				for j := range wantW[i] {
+					if math.Float64bits(b.wOut[i][j]) != math.Float64bits(wantW[i][j]) {
+						t.Fatalf("simd=%v reverse=%v lane %q: weight[%d] = %v, reference %v", simd, reverse, ln.name, j, b.wOut[i][j], wantW[i][j])
+					}
 				}
 			}
-		}
-		if st.Windows != wantStats.Windows || st.WarmHits != wantStats.WarmHits ||
-			st.ColdStarts != wantStats.ColdStarts || st.Fallbacks != wantStats.Fallbacks {
-			t.Fatalf("reverse=%v: stats %+v, reference %+v", reverse, *st, *wantStats)
-		}
-		for i := range wantStats.IterHist {
-			if st.IterHist[i] != wantStats.IterHist[i] {
-				t.Fatalf("reverse=%v: IterHist[%d] = %d, reference %d", reverse, i, st.IterHist[i], wantStats.IterHist[i])
+			if st.Windows != wantStats.Windows || st.WarmHits != wantStats.WarmHits ||
+				st.ColdStarts != wantStats.ColdStarts || st.Fallbacks != wantStats.Fallbacks {
+				t.Fatalf("simd=%v reverse=%v: stats %+v, reference %+v", simd, reverse, *st, *wantStats)
 			}
-		}
-		if st.BatchSweeps == 0 || st.BatchLaneSteps == 0 || len(st.ActiveHist) == 0 {
-			t.Fatalf("reverse=%v: batch telemetry empty: %+v", reverse, *st)
+			for i := range wantStats.IterHist {
+				if st.IterHist[i] != wantStats.IterHist[i] {
+					t.Fatalf("simd=%v reverse=%v: IterHist[%d] = %d, reference %d", simd, reverse, i, st.IterHist[i], wantStats.IterHist[i])
+				}
+			}
+			if st.BatchSweeps == 0 || st.BatchLaneSteps == 0 || len(st.ActiveHist) == 0 {
+				t.Fatalf("simd=%v reverse=%v: batch telemetry empty: %+v", simd, reverse, *st)
+			}
 		}
 	}
 }
@@ -173,13 +178,17 @@ func TestBatchDegenerateLanesMatchReference(t *testing.T) {
 // float32LaneMaxDelta runs the same request through the exact engine
 // and the float32 lane and returns the largest |Δρ| across every pair,
 // window and series, requiring bit-identical NaN placement.
-func float32LaneMaxDelta(t *testing.T, types []Type, rets [][]float64, m int) float64 {
+// disableSIMD selects the float32 lane's dispatch tier so the 8-wide
+// vector kernel and the scalar iteration are held to the same ceiling
+// (the exact baseline is tier-independent by the bit-identity
+// contract).
+func float32LaneMaxDelta(t *testing.T, types []Type, rets [][]float64, m int, disableSIMD bool) float64 {
 	t.Helper()
 	exact, err := ComputeMatrixSeries(EngineConfig{M: m, Workers: 1}, types, rets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	appx, err := ComputeMatrixSeries(EngineConfig{M: m, Workers: 2, TileSize: 8, Float32: true}, types, rets)
+	appx, err := ComputeMatrixSeries(EngineConfig{M: m, Workers: 2, TileSize: 8, Float32: true, DisableSIMD: disableSIMD}, types, rets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,8 +224,10 @@ const float32AccuracyBound = 5e-5
 // float32AccuracyBound of the exact kernel for both robust types.
 func TestFloat32LaneAccuracy(t *testing.T) {
 	mkt := marketReturns(t, 8, 20080305)
-	if d := float32LaneMaxDelta(t, []Type{Maronna, Combined}, mkt, 80); d > float32AccuracyBound {
-		t.Fatalf("market universe: max |Δρ| = %g, bound %g", d, float32AccuracyBound)
+	for _, disableSIMD := range []bool{false, true} {
+		if d := float32LaneMaxDelta(t, []Type{Maronna, Combined}, mkt, 80, disableSIMD); d > float32AccuracyBound {
+			t.Fatalf("market universe (disableSIMD=%v): max |Δρ| = %g, bound %g", disableSIMD, d, float32AccuracyBound)
+		}
 	}
 
 	// Synthetic universe: heavy tails, a constant stock (degenerate
@@ -248,7 +259,9 @@ func TestFloat32LaneAccuracy(t *testing.T) {
 	// Near-collinear pairs (ρ within float32 noise of 1) legitimately
 	// cost a few extra ULPs, so the adversarial bound is looser; the
 	// measured worst case sits near 6e-5.
-	if d := float32LaneMaxDelta(t, []Type{Maronna, Combined}, rets, m); d > 10*float32AccuracyBound {
-		t.Fatalf("synthetic universe: max |Δρ| = %g, bound %g", d, 10*float32AccuracyBound)
+	for _, disableSIMD := range []bool{false, true} {
+		if d := float32LaneMaxDelta(t, []Type{Maronna, Combined}, rets, m, disableSIMD); d > 10*float32AccuracyBound {
+			t.Fatalf("synthetic universe (disableSIMD=%v): max |Δρ| = %g, bound %g", disableSIMD, d, 10*float32AccuracyBound)
+		}
 	}
 }

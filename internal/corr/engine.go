@@ -51,6 +51,13 @@ type EngineConfig struct {
 	// to ComputeSeriesMultiReference. The OnlineEngine rejects it: its
 	// snapshots are contractually bit-exact.
 	Float32 bool
+	// DisableSIMD forces this request's batched Maronna kernels onto
+	// the pure-Go scalar path even when the process-wide dispatch
+	// (CPUID + MM_NOSIMD + SetSIMDMode) would use the vector backend.
+	// The f64 tiers are bit-identical, so the flag changes speed only;
+	// the bench harness uses it to A/B the tiers in one process. It is
+	// deliberately not part of any sweep fingerprint.
+	DisableSIMD bool
 }
 
 func (c *EngineConfig) workers() int {
@@ -108,6 +115,15 @@ type RobustStats struct {
 	BatchSweeps    int
 	BatchLaneSteps int
 	ActiveHist     []int
+
+	// SIMD wall-clock telemetry, populated only while SetSIMDProfiling
+	// is on (the bench harness measuring the transpose overhead).
+	// SIMDPackNs is time spent packing windows into the lane-major
+	// tiles; SIMDRunNs is the remainder of the vector batch runs.
+	// Excluded from bit-identity comparisons: wall-clock is not part of
+	// the reference-equality contract.
+	SIMDPackNs int64
+	SIMDRunNs  int64
 }
 
 // recordSweep records one batched sweep over active lanes.
@@ -167,6 +183,8 @@ func (s *RobustStats) Merge(o *RobustStats) {
 	for i, c := range o.ActiveHist {
 		s.ActiveHist[i] += c
 	}
+	s.SIMDPackNs += o.SIMDPackNs
+	s.SIMDRunNs += o.SIMDRunNs
 }
 
 // MeanIters returns the average iteration count per window.
@@ -699,7 +717,7 @@ func (e *OnlineEngine) matrix() *Matrix {
 		sched.Steal(workers, len(e.tiles), func(w, ti int) {
 			b := e.pool[w]
 			if b == nil {
-				b = newPairBatch(e.est.Config())
+				b = newPairBatch(e.est.Config(), !e.cfg.DisableSIMD)
 				e.pool[w] = b
 			}
 			tile := e.tiles[ti]

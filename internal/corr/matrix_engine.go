@@ -165,7 +165,7 @@ func newTileRun(cfg *EngineConfig, tile []int, pairs []int, allPairs []taq.Pair,
 	}
 	if est != nil {
 		if batch == nil {
-			batch = newPairBatch(est.Config())
+			batch = newPairBatch(est.Config(), !cfg.DisableSIMD)
 		}
 		tr.batch = batch
 		tr.warm = make([]Fit, np)

@@ -1,0 +1,77 @@
+//go:build amd64 && !noasm
+
+package corr
+
+// Arch-specific half of the SIMD dispatch: CPUID feature detection and
+// the Go declarations of the hand-written AVX2 kernels in
+// maronna_amd64.s. The build tag pair (`amd64 && !noasm` here,
+// `!amd64 || noasm` in simd_fallback.go) guarantees exactly one
+// definition of each symbol in every build configuration.
+
+// cpuidex executes CPUID with the given leaf/subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE, checked by the caller).
+func xgetbv() (eax, edx uint32)
+
+// simdDetect reports whether the host can execute the AVX2 kernels:
+// the CPU must advertise AVX and AVX2, and the OS must save/restore
+// the YMM state (OSXSAVE set and XCR0 bits 1..2 enabled). This is the
+// same ladder the Go runtime uses for its own AVX2 dispatch.
+func simdDetect() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 { // XMM and YMM state both OS-managed
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2Bit = 1 << 5
+	return ebx7&avx2Bit != 0
+}
+
+// maronnaLocation4 is the 4-wide f64 location pass: one fixed-point
+// location step of four lanes in lockstep. xt and yt point to the
+// lanes' quad-packed window tiles (obs-major: element (i, s) of the
+// quad at offset i*4+s); t1..i12 point to the four lanes' location
+// and inverse-scatter entries; sw/sx/sy receive the four lanes' Huber
+// w1 sums. Per lane the arithmetic is expression-for-expression
+// maronnaLocation — same values, same order — so results are
+// bit-identical to the scalar pass.
+//
+//go:noescape
+func maronnaLocation4(xt, yt *float64, m int, t1, t2, i11, i22, i12 *float64, k, k2 float64, sw, sx, sy *float64)
+
+// maronnaScatter4 is the 4-wide f64 scatter pass, recording the
+// per-observation Huber w2 weights into the quad-packed tile wt and
+// the four lanes' scatter sums into n11/n22/n12. Bit-identical to
+// maronnaScatter per lane.
+//
+//go:noescape
+func maronnaScatter4(xt, yt, wt *float64, m int, t1, t2, i11, i22, i12 *float64, k2 float64, n11, n22, n12 *float64)
+
+// maronnaLocation8f is the 8-wide f32 location pass for the
+// approximate iteration lane (oct-packed tiles, element (i, s) at
+// offset i*8+s). The f32 lane has an accuracy contract rather than a
+// bit-identity one, but the kernel still mirrors maronnaLocation32's
+// operation order exactly.
+//
+//go:noescape
+func maronnaLocation8f(xt, yt *float32, m int, t1, t2, i11, i22, i12 *float32, k, k2 float32, sw, sx, sy *float32)
+
+// maronnaScatter8f is the 8-wide f32 scatter pass. Like the scalar
+// maronnaScatter32 it records no weights (the weights that matter are
+// produced by the f64 polish).
+//
+//go:noescape
+func maronnaScatter8f(xt, yt *float32, m int, t1, t2, i11, i22, i12 *float32, k2 float32, n11, n22, n12 *float32)

@@ -1,0 +1,28 @@
+//go:build !amd64 || noasm
+
+package corr
+
+// Pure-Go half of the SIMD dispatch: on non-amd64 builds and under
+// the `noasm` tag there is no vector backend, simdDetect reports
+// false, and the batch kernels run the scalar path. The kernel stubs
+// exist only so batch.go/batch32.go compile everywhere; dispatch
+// guarantees they are never called (pairBatch.simd / pairBatch32
+// parent dispatch is false when simdDetect is).
+
+func simdDetect() bool { return false }
+
+func maronnaLocation4(xt, yt *float64, m int, t1, t2, i11, i22, i12 *float64, k, k2 float64, sw, sx, sy *float64) {
+	panic("corr: maronnaLocation4 called without SIMD support")
+}
+
+func maronnaScatter4(xt, yt, wt *float64, m int, t1, t2, i11, i22, i12 *float64, k2 float64, n11, n22, n12 *float64) {
+	panic("corr: maronnaScatter4 called without SIMD support")
+}
+
+func maronnaLocation8f(xt, yt *float32, m int, t1, t2, i11, i22, i12 *float32, k, k2 float32, sw, sx, sy *float32) {
+	panic("corr: maronnaLocation8f called without SIMD support")
+}
+
+func maronnaScatter8f(xt, yt *float32, m int, t1, t2, i11, i22, i12 *float32, k2 float32, n11, n22, n12 *float32) {
+	panic("corr: maronnaScatter8f called without SIMD support")
+}

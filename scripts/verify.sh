@@ -20,6 +20,11 @@ done
 echo "== go build ./..."
 go build ./...
 
+echo "== cross-arch builds: the SIMD dispatch must degrade, not break"
+GOARCH=arm64 go build ./...
+GOARCH=386 go build ./...
+go build -tags noasm ./...
+
 echo "== go test -race ./internal/sweep ./internal/sched (orchestrator focus)"
 go test -race ./internal/sweep ./internal/sched
 
@@ -31,6 +36,10 @@ go test -race ./internal/screen ./internal/corr
 
 echo "== batched-vs-reference bit-identity smoke"
 go test -race -run 'TestMatrixEngineMatchesReference|TestBatchDegenerateLanesMatchReference|TestFloat32LaneAccuracy' ./internal/corr
+
+echo "== SIMD bit-identity: vector tier vs reference, plus scalar-tier (noasm) run"
+go test -race -run 'TestSIMD|FuzzSIMDMatchesScalar' ./internal/corr
+go test -tags noasm -run 'TestSIMD|TestBatchDegenerateLanesMatchReference|FuzzSIMDMatchesScalar' ./internal/corr
 
 echo "== go test -race ./internal/feed ./internal/supervise ./internal/chaos (robustness focus)"
 go test -race ./internal/feed ./internal/supervise ./internal/chaos
