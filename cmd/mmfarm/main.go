@@ -11,10 +11,21 @@
 // (-scale, -seed, -levels, -block, -screen-*, -f32): the configuration
 // fingerprint is checked at join and mismatched workers are refused.
 //
+// The coordinator itself is crash-tolerant: its durable state (epoch,
+// lease table, pending order) lives in a CRC-guarded manifest next to
+// the journal, so a SIGKILLed coordinator restarted with the same
+// -journal re-serves only unfinished units, and `-standby` runs a warm
+// standby that tails the primary's heartbeat file and takes over under
+// a higher, fencing epoch when the primary goes silent. Workers given a
+// comma-separated -connect list rotate through it on redial and resume
+// their prior session, redelivering completed-but-unacknowledged
+// results instead of recomputing them.
+//
 // Usage:
 //
 //	mmfarm serve -listen :9444 -journal farm.journal -scale paper
-//	mmfarm work -connect host:9444 -scale paper        # on each box
+//	mmfarm serve -listen :9445 -journal farm.journal -scale paper -standby   # warm standby
+//	mmfarm work -connect host:9444,host:9445 -scale paper        # on each box
 //	mmfarm work -connect host:9444 -scale paper -chaos 'seed=7,corrupt=8192'
 //	mmfarm serve -listen :9444 -journal farm.journal -scale paper -merge-out results.json
 package main
@@ -26,6 +37,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -138,6 +150,8 @@ func runServe(args []string) error {
 	ttl := fs.Duration("ttl", farm.DefaultLeaseTTL, "lease TTL: silence budget before a worker's groups are reassigned")
 	limit := fs.Int("limit", 0, "accept at most N units this invocation, then pause (0 = run to completion)")
 	mergeOut := fs.String("merge-out", "", "on completion, merge the journal and write raw results JSON here")
+	standby := fs.Bool("standby", false, "run as a warm standby: tail the primary's heartbeat file and take over on silence")
+	takeoverAfter := fs.Duration("takeover-after", 0, "standby only: heartbeat silence before taking over (0 = the lease TTL)")
 	fs.Parse(args)
 	if *journal == "" {
 		return fmt.Errorf("-journal is required")
@@ -147,7 +161,7 @@ func runServe(args []string) error {
 		return err
 	}
 
-	c, err := farm.NewCoordinator(farm.CoordinatorConfig{
+	cc := farm.CoordinatorConfig{
 		Config:      cfg,
 		BlockSize:   o.block,
 		JournalPath: *journal,
@@ -159,20 +173,41 @@ func runServe(args []string) error {
 				fmt.Printf("  %d/%d units journaled\n", done, total)
 			}
 		},
-	})
-	if err != nil {
-		return err
 	}
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("mmfarm: coordinating on %s (journal %s)\n", l.Addr(), *journal)
 
 	ctx, cancel := signalContext()
 	defer cancel()
 	start := time.Now()
-	st, err := c.Serve(ctx, l)
+	var st *farm.CoordStats
+	if *standby {
+		// The listener is bound lazily at promotion, so a standby can
+		// be configured with the primary's own address.
+		fmt.Printf("mmfarm: standing by for %s (journal %s)\n", *listen, *journal)
+		st, err = farm.RunStandby(ctx, farm.StandbyConfig{
+			Coordinator:   cc,
+			TakeoverAfter: *takeoverAfter,
+			Logf:          o.logf(),
+		}, func() (net.Listener, error) {
+			l, err := net.Listen("tcp", *listen)
+			if err == nil {
+				fmt.Printf("mmfarm: standby promoted; coordinating on %s\n", l.Addr())
+			}
+			return l, err
+		})
+	} else {
+		var c *farm.Coordinator
+		c, err = farm.NewCoordinator(cc)
+		if err != nil {
+			return err
+		}
+		var l net.Listener
+		l, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mmfarm: coordinating on %s (journal %s)\n", l.Addr(), *journal)
+		st, err = c.Serve(ctx, l)
+	}
 	if err != nil {
 		return err
 	}
@@ -180,9 +215,9 @@ func runServe(args []string) error {
 	if st.Recovered != nil {
 		fmt.Printf("  healed damaged journal tail: %v\n", st.Recovered)
 	}
-	fmt.Printf("farm: %d/%d units (%d restored, %d from %d worker join(s)) in %v\n",
+	fmt.Printf("farm: %d/%d units (%d restored, %d from %d worker join(s)) under epoch %d in %v\n",
 		st.UnitsRestored+st.UnitsExecuted, st.UnitsTotal, st.UnitsRestored,
-		st.UnitsExecuted, st.WorkersJoined, elapsed.Round(time.Millisecond))
+		st.UnitsExecuted, st.WorkersJoined, st.Epoch, elapsed.Round(time.Millisecond))
 	for _, nc := range metrics.Counters() {
 		if nc.Value > 0 && len(nc.Name) > 5 && nc.Name[:5] == "farm." {
 			fmt.Printf("  %s = %d\n", nc.Name, nc.Value)
@@ -214,7 +249,7 @@ func runWork(args []string) error {
 	fs := flag.NewFlagSet("mmfarm work", flag.ExitOnError)
 	var o sweepOpts
 	o.register(fs)
-	connect := fs.String("connect", "127.0.0.1:9444", "coordinator address")
+	connect := fs.String("connect", "127.0.0.1:9444", "coordinator address(es), comma-separated: primary first, then standbys")
 	name := fs.String("name", "", "worker name in coordinator logs (default host:pid)")
 	heartbeat := fs.Duration("heartbeat", time.Second, "lease renewal cadence (keep well under the coordinator's -ttl)")
 	chaosSpec := fs.String("chaos", "", "inject wire faults on the coordinator link, e.g. 'seed=7,corrupt=8192,cut=65536'")
@@ -228,11 +263,15 @@ func runWork(args []string) error {
 		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 
+	addrs := strings.Split(*connect, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
 	wc := farm.WorkerConfig{
 		Config:         cfg,
 		BlockSize:      o.block,
 		Name:           *name,
-		Addr:           *connect,
+		Addrs:          addrs,
 		HeartbeatEvery: *heartbeat,
 		Logf:           o.logf(),
 	}
@@ -241,9 +280,14 @@ func runWork(args []string) error {
 		if err != nil {
 			return err
 		}
+		// The chaos wrapper replaces WorkerConfig.Addrs, so rotate
+		// through the candidate coordinators here.
+		var dialN int
 		dial := func(ctx context.Context) (net.Conn, error) {
+			addr := addrs[dialN%len(addrs)]
+			dialN++
 			var d net.Dialer
-			return d.DialContext(ctx, "tcp", *connect)
+			return d.DialContext(ctx, "tcp", addr)
 		}
 		wc.Dial = marketminer.NewChaos(spec).Dialer(dial)
 	}
@@ -258,8 +302,8 @@ func runWork(args []string) error {
 	}
 	elapsed := time.Since(start)
 	rate := float64(st.Units) / elapsed.Seconds()
-	fmt.Printf("worker %q: %d units in %d group(s) over %d session(s) (%d redials) in %v — %.1f units/s, warm-hit %.0f%%\n",
-		*name, st.Units, st.Groups, st.Sessions, st.Redials, elapsed.Round(time.Millisecond),
-		rate, 100*st.Warm.WarmHitFraction)
+	fmt.Printf("worker %q: %d units in %d group(s) over %d session(s) (%d redials, %d rejoin(s), %d recovered) in %v — %.1f units/s, warm-hit %.0f%%\n",
+		*name, st.Units, st.Groups, st.Sessions, st.Redials, st.Rejoins, st.Recovered,
+		elapsed.Round(time.Millisecond), rate, 100*st.Warm.WarmHitFraction)
 	return nil
 }

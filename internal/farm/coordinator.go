@@ -2,6 +2,7 @@ package farm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -14,6 +15,11 @@ import (
 	"marketminer/internal/sweep"
 )
 
+// ErrFenced is returned (wrapped) by Serve when a newer coordinator
+// incarnation has claimed the manifest epoch: this process is stale
+// and must stand down without touching the journal again.
+var ErrFenced = errors.New("farm: coordinator fenced by a higher epoch")
+
 // CoordinatorConfig configures one farm coordinator run.
 type CoordinatorConfig struct {
 	// Config is the sweep every worker must have been started with;
@@ -24,10 +30,15 @@ type CoordinatorConfig struct {
 	BlockSize int
 	// JournalPath is the checkpoint journal (required). A farm journal
 	// is written as Shard{0, 1}, so mmreport -merge and even a local
-	// single-host sweep.Run can pick up where a farm left off.
+	// single-host sweep.Run can pick up where a farm left off. The
+	// coordinator manifest (JournalPath + ".coord") and liveness
+	// heartbeat (JournalPath + ".coordhb") live alongside it.
 	JournalPath string
 	// LeaseTTL bounds how long a silent worker holds a group before it
-	// is reassigned; ≤ 0 means DefaultLeaseTTL.
+	// is reassigned; ≤ 0 means DefaultLeaseTTL. After a coordinator
+	// restart it is also the rejoin grace: a lease restored from the
+	// manifest is held for its prior owner this long before expiring
+	// into the pending queue.
 	LeaseTTL time.Duration
 	// SweepEvery is the expiry-check cadence; ≤ 0 means LeaseTTL/4.
 	SweepEvery time.Duration
@@ -53,6 +64,9 @@ type CoordStats struct {
 	// WorkersJoined counts accepted Join handshakes (reconnects
 	// included).
 	WorkersJoined int
+	// Epoch is the coordinator epoch this incarnation served under:
+	// 1 for a fresh farm, prior+1 after every restart or takeover.
+	Epoch uint64
 	// Paused reports that Limit stopped the run before the sweep
 	// finished.
 	Paused bool
@@ -65,18 +79,22 @@ type CoordStats struct {
 // results. One Coordinator serves one sweep; create it with
 // NewCoordinator and run it with Serve.
 type Coordinator struct {
-	cc          CoordinatorConfig
-	plan        *sweep.Plan
-	header      sweep.Header
-	fingerprint string
-	ttl         time.Duration
-	sweepEvery  time.Duration
-	drainGrace  time.Duration
-	now         func() time.Time // injectable clock (expiry tests)
+	cc           CoordinatorConfig
+	plan         *sweep.Plan
+	header       sweep.Header
+	fingerprint  string
+	ttl          time.Duration
+	sweepEvery   time.Duration
+	drainGrace   time.Duration
+	manifestPath string
+	hbPath       string
+	now          func() time.Time // injectable clock (expiry tests)
 
 	// mu guards everything below, including every session's held set.
 	mu          sync.Mutex
 	journal     *sweep.Journal
+	epoch       uint64
+	hbSeq       uint64
 	groups      []groupState
 	pending     []int // unleased gids with missing units; front = next out
 	waiters     []*session
@@ -140,16 +158,18 @@ func NewCoordinator(cc CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cc:          cc,
-		plan:        runner.Plan(),
-		header:      sweep.PlanHeader(runner, sweep.Shard{Index: 0, Count: 1}),
-		fingerprint: runner.Fingerprint(),
-		ttl:         cc.LeaseTTL,
-		sweepEvery:  cc.SweepEvery,
-		drainGrace:  3 * time.Second,
-		now:         time.Now,
-		sessions:    map[uint64]*session{},
-		done:        make(chan struct{}),
+		cc:           cc,
+		plan:         runner.Plan(),
+		header:       sweep.PlanHeader(runner, sweep.Shard{Index: 0, Count: 1}),
+		fingerprint:  runner.Fingerprint(),
+		ttl:          cc.LeaseTTL,
+		sweepEvery:   cc.SweepEvery,
+		drainGrace:   3 * time.Second,
+		manifestPath: coordManifestPath(cc.JournalPath),
+		hbPath:       coordHeartbeatPath(cc.JournalPath),
+		now:          time.Now,
+		sessions:     map[uint64]*session{},
+		done:         make(chan struct{}),
 	}
 	if c.ttl <= 0 {
 		c.ttl = DefaultLeaseTTL
@@ -166,12 +186,23 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// Serve opens (or resumes) the journal, accepts workers on l and deals
-// groups until the sweep is complete, Limit is reached, or ctx is
-// cancelled. It owns l and closes it on the way out. Serve never
-// computes a unit itself — a coordinator on a laptop can drive a room
-// full of workers.
+// Serve opens (or resumes) the journal and manifest, claims the next
+// coordinator epoch, accepts workers on l and deals groups until the
+// sweep is complete, Limit is reached, ctx is cancelled, or a newer
+// incarnation fences this one off. It owns l and closes it on the way
+// out. Serve never computes a unit itself — a coordinator on a laptop
+// can drive a room full of workers.
 func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, error) {
+	prior, err := readCoordManifest(c.manifestPath)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if prior != nil && prior.Fingerprint != c.fingerprint {
+		l.Close()
+		return nil, fmt.Errorf("farm: coordinator manifest %s records fingerprint %s, not this sweep's %s",
+			c.manifestPath, prior.Fingerprint, c.fingerprint)
+	}
 	journal, done, recovered, err := sweep.OpenJournal(c.cc.JournalPath, c.header)
 	if err != nil {
 		l.Close()
@@ -180,6 +211,7 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 
 	c.mu.Lock()
 	c.journal = journal
+	c.epoch = 1
 	c.unitsTotal = c.plan.NumUnits()
 	c.groups = make([]groupState, c.plan.NumGroups())
 	np := c.plan.NumParams()
@@ -197,8 +229,44 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 		c.doneUnits++
 		c.trades += int64(n)
 	}
+	// Cold restart / takeover: claim the next epoch (fencing the
+	// previous incarnation), resume the monotonic id counters, park
+	// the manifest's live leases in a rejoin grace window, and rebuild
+	// the pending deque in its journaled order.
+	limbo := 0
+	if prior != nil {
+		c.epoch = prior.Epoch + 1
+		c.nextSession = prior.NextSession
+		c.nextLease = prior.NextLease
+		grace := c.now().Add(c.ttl)
+		for _, pl := range prior.Leases {
+			if pl.Gid < 0 || pl.Gid >= len(c.groups) {
+				continue
+			}
+			g := &c.groups[pl.Gid]
+			if len(g.missing) == 0 || g.lease != 0 {
+				continue
+			}
+			g.lease, g.gen, g.session, g.expiry = pl.Lease, pl.Gen, pl.Session, grace
+			limbo++
+		}
+	}
+	inPending := map[int]bool{}
+	if prior != nil {
+		for _, gid := range prior.Pending {
+			if gid < 0 || gid >= len(c.groups) || inPending[gid] {
+				continue
+			}
+			g := &c.groups[gid]
+			if len(g.missing) > 0 && g.lease == 0 {
+				c.pending = append(c.pending, gid)
+				inPending[gid] = true
+			}
+		}
+	}
 	for gid := range c.groups {
-		if len(c.groups[gid].missing) > 0 {
+		g := &c.groups[gid]
+		if len(g.missing) > 0 && g.lease == 0 && !inPending[gid] {
 			c.pending = append(c.pending, gid)
 		}
 	}
@@ -206,8 +274,19 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 	if complete {
 		c.finishLocked(false, nil)
 	}
+	// Claim the epoch durably before serving anything: from this write
+	// on, the previous incarnation's journal/manifest writes bounce off
+	// the fence check.
+	if err := c.saveManifestLocked(); err == nil {
+		c.writeHeartbeatLocked()
+	}
 	c.mu.Unlock()
 
+	if prior != nil {
+		metrics.Counter(MetricCoordRestarts).Inc()
+		c.logf("farm: coordinator restarted under epoch %d (%d lease(s) held for rejoin, TTL %v)",
+			c.epoch, limbo, c.ttl)
+	}
 	if recovered != nil {
 		c.logf("farm: healed journal tail: %v", recovered)
 	}
@@ -216,8 +295,8 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 		err := journal.Close()
 		return c.snapshotStats(recovered), err
 	}
-	c.logf("farm: serving %d/%d units (%d restored), lease TTL %v",
-		c.unitsTotal-c.doneUnits, c.unitsTotal, c.restored, c.ttl)
+	c.logf("farm: serving %d/%d units (%d restored), lease TTL %v, epoch %d",
+		c.unitsTotal-c.doneUnits, c.unitsTotal, c.restored, c.ttl, c.epoch)
 
 	// Watchdog: on cancel, abort every session; on finish (from any
 	// path), just close the listener so Accept returns.
@@ -236,7 +315,9 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 	}()
 
 	// Lease sweeper: expiry checks plus liveness heartbeats to every
-	// session (parked workers use them to reset their idle timers).
+	// session (parked workers use them to reset their idle timers) and
+	// to the on-disk heartbeat file (standbys use it to judge when to
+	// take over).
 	go func() {
 		t := time.NewTicker(c.sweepEvery)
 		defer t.Stop()
@@ -275,6 +356,22 @@ func (c *Coordinator) Serve(ctx context.Context, l net.Listener) (*CoordStats, e
 	wg.Wait()
 
 	c.mu.Lock()
+	// Final manifest, so a later run resumes exactly here. On a clean
+	// finish or Limit pause every session was Ended — no lease can be
+	// rejoined, so drop them all and let the next incarnation re-deal
+	// immediately instead of waiting out a rejoin grace. An abort keeps
+	// the lease table (its workers are alive and will rejoin); a fenced
+	// stand-down skips the write — the newer incarnation owns the file.
+	if c.fatal == nil {
+		for gid := range c.groups {
+			g := &c.groups[gid]
+			if g.lease != 0 && len(g.missing) > 0 {
+				g.lease, g.session = 0, 0
+				c.pending = append(c.pending, gid)
+			}
+		}
+	}
+	c.saveManifestLocked()
 	ferr := c.fatal
 	c.mu.Unlock()
 	if cerr := journal.Close(); ferr == nil {
@@ -293,8 +390,89 @@ func (c *Coordinator) snapshotStats(recovered *sweep.Corruption) *CoordStats {
 		UnitsExecuted: c.accepted,
 		Trades:        c.trades,
 		WorkersJoined: c.joined,
+		Epoch:         c.epoch,
 		Paused:        c.paused,
 		Recovered:     recovered,
+	}
+}
+
+// fenceCheckLocked verifies this incarnation still owns the manifest
+// epoch; it must be called before every durable write (journal append,
+// manifest replace). A manifest carrying a higher epoch means a
+// standby or restart has taken over: the write is refused, counted,
+// and the coordinator stands down. An unreadable manifest never blocks
+// the primary — fencing fails open, and the journal's CRC framing plus
+// merge-level duplicate dropping keep even a lost race benign.
+func (c *Coordinator) fenceCheckLocked() error {
+	m, err := readCoordManifest(c.manifestPath)
+	if err != nil || m == nil {
+		return nil
+	}
+	if m.Epoch > c.epoch {
+		metrics.Counter(MetricCoordEpochFences).Inc()
+		c.logf("farm: write refused: coordinator epoch %d fenced by epoch %d", c.epoch, m.Epoch)
+		return fmt.Errorf("%w (own epoch %d, manifest epoch %d)", ErrFenced, c.epoch, m.Epoch)
+	}
+	return nil
+}
+
+// buildManifestLocked snapshots the durable coordinator state.
+func (c *Coordinator) buildManifestLocked() *coordManifest {
+	m := &coordManifest{
+		Schema:      CoordManifestSchema,
+		Fingerprint: c.fingerprint,
+		Epoch:       c.epoch,
+		NextSession: c.nextSession,
+		NextLease:   c.nextLease,
+		Pending:     append([]int{}, c.pending...),
+	}
+	for gid := range c.groups {
+		g := &c.groups[gid]
+		if g.lease != 0 && len(g.missing) > 0 {
+			m.Leases = append(m.Leases, coordLease{Gid: gid, Lease: g.lease, Gen: g.gen, Session: g.session})
+		}
+	}
+	return m
+}
+
+// saveManifestLocked fence-checks, then atomically replaces the
+// coordinator manifest. A fencing violation is returned (fatal); an
+// I/O failure is logged but tolerated — the manifest is a recovery
+// accelerator, the journal remains the ground truth.
+func (c *Coordinator) saveManifestLocked() error {
+	if err := c.fenceCheckLocked(); err != nil {
+		return err
+	}
+	if err := writeCoordManifest(c.manifestPath, c.buildManifestLocked()); err != nil {
+		c.logf("farm: coordinator manifest write failed: %v", err)
+	}
+	return nil
+}
+
+// appendFencedLocked fence-checks, then journals one entry.
+func (c *Coordinator) appendFencedLocked(e sweep.Entry) error {
+	if err := c.fenceCheckLocked(); err != nil {
+		return err
+	}
+	return c.journal.Append(e)
+}
+
+// writeHeartbeatLocked bumps and replaces the liveness beacon.
+func (c *Coordinator) writeHeartbeatLocked() {
+	c.hbSeq++
+	if err := writeCoordHeartbeat(c.hbPath, coordHeartbeat{Epoch: c.epoch, Seq: c.hbSeq}); err != nil {
+		c.logf("farm: heartbeat write failed: %v", err)
+	}
+}
+
+// standDown transitions to the failed state (typically on a fencing
+// violation) and hard-closes every session so their handlers unwind.
+func (c *Coordinator) standDown(err error) {
+	c.mu.Lock()
+	ss := c.finishLocked(false, err)
+	c.mu.Unlock()
+	for _, s := range ss {
+		s.conn.Close()
 	}
 }
 
@@ -329,9 +507,15 @@ func (c *Coordinator) endSessions(ss []*session) {
 	}
 }
 
-// handle runs one worker connection: Join/Grant handshake, then a
-// Steal/Heartbeat/Result read loop until the peer drops or the run
-// ends.
+// refuse sends an explicit rejection so the worker can tell a fatal
+// misconfiguration from a transient connection failure.
+func refuse(conn net.Conn, code uint16, reason string) {
+	feed.NewEncoder(conn, nil).WriteRefuse(&feed.Refuse{Code: code, Reason: reason})
+}
+
+// handle runs one worker connection: Join/Grant handshake (with the
+// rejoin re-confirmation path), then a Steal/Heartbeat/Result read
+// loop until the peer drops or the run ends.
 func (c *Coordinator) handle(conn net.Conn) {
 	defer conn.Close()
 	dec := feed.NewDecoder(conn)
@@ -345,12 +529,16 @@ func (c *Coordinator) handle(conn net.Conn) {
 		return
 	}
 	if join.Version != feed.ProtocolVersion {
-		c.logf("farm: dropping worker %q: protocol version %d, want %d", join.Name, join.Version, feed.ProtocolVersion)
+		c.logf("farm: REFUSING worker %q: protocol version %d, want %d", join.Name, join.Version, feed.ProtocolVersion)
+		refuse(conn, feed.RefuseVersion,
+			fmt.Sprintf("protocol version %d, coordinator speaks %d", join.Version, feed.ProtocolVersion))
 		return
 	}
 	if join.Fingerprint != c.fingerprint {
 		c.logf("farm: REFUSING worker %q: sweep fingerprint %s, coordinator has %s (mismatched config?)",
 			join.Name, join.Fingerprint, c.fingerprint)
+		refuse(conn, feed.RefuseFingerprint,
+			fmt.Sprintf("sweep fingerprint %s, coordinator has %s", join.Fingerprint, c.fingerprint))
 		return
 	}
 
@@ -371,14 +559,61 @@ func (c *Coordinator) handle(conn net.Conn) {
 	}
 	c.sessions[s.id] = s
 	c.joined++
-	grant := &feed.Grant{Session: s.id, UnitsTotal: uint64(c.unitsTotal), UnitsDone: uint64(c.doneUnits)}
+	// Rejoin: re-confirm the groups the prior session still holds (so
+	// the worker's in-flight compute and unacked results survive the
+	// coordinator's death) and reclaim the ones it no longer claims.
+	var reconfirm []*feed.Lease
+	reclaimed := 0
+	if join.PriorSession != 0 {
+		held := make(map[uint64]bool, len(join.HeldLeases))
+		for _, id := range join.HeldLeases {
+			held[id] = true
+		}
+		for gid := range c.groups {
+			g := &c.groups[gid]
+			if g.lease == 0 || g.session != join.PriorSession || len(g.missing) == 0 {
+				continue
+			}
+			if held[g.lease] {
+				reconfirm = append(reconfirm, c.leaseLocked(gid, s))
+			} else {
+				g.lease, g.session = 0, 0
+				c.pending = append([]int{gid}, c.pending...)
+				reclaimed++
+			}
+		}
+	}
+	ferr := error(nil)
+	if len(reconfirm) > 0 || reclaimed > 0 {
+		ferr = c.saveManifestLocked()
+	}
+	grant := &feed.Grant{Session: s.id, Epoch: c.epoch, UnitsTotal: uint64(c.unitsTotal), UnitsDone: uint64(c.doneUnits)}
 	c.mu.Unlock()
+	if ferr != nil {
+		c.standDown(ferr)
+		return
+	}
 
 	metrics.Counter(MetricWorkersJoined).Inc()
-	c.logf("farm: worker %q joined as session %d", join.Name, s.id)
+	if join.PriorSession != 0 {
+		metrics.Counter(MetricCoordRejoins).Inc()
+		c.logf("farm: worker %q rejoined as session %d (was session %d under epoch %d; %d group(s) re-confirmed, %d reclaimed)",
+			join.Name, s.id, join.PriorSession, join.PriorEpoch, len(reconfirm), reclaimed)
+	} else {
+		c.logf("farm: worker %q joined as session %d", join.Name, s.id)
+	}
 	defer c.dropSession(s)
 	if s.send(func(e *feed.Encoder) error { return e.WriteGrant(grant) }) != nil {
 		return
+	}
+	for _, l := range reconfirm {
+		if s.send(func(e *feed.Encoder) error { return e.WriteLease(l) }) != nil {
+			return
+		}
+		metrics.Counter(MetricLeasesGranted).Inc()
+	}
+	if reclaimed > 0 {
+		c.wakeWaiters()
 	}
 
 	for {
@@ -407,7 +642,7 @@ func (c *Coordinator) handle(conn net.Conn) {
 
 // requestWork answers a Steal: the front pending group, a parking slot
 // if the queue is dry, or End if the run is over. The returned error
-// is a send failure only.
+// is a send failure or a fencing stand-down.
 func (c *Coordinator) requestWork(s *session) error {
 	c.mu.Lock()
 	if c.finished {
@@ -415,14 +650,31 @@ func (c *Coordinator) requestWork(s *session) error {
 		return s.sendEnd()
 	}
 	if len(c.pending) == 0 {
-		c.waiters = append(c.waiters, s)
+		// A rejoined worker can Steal while already parked (its
+		// unsolicited re-confirm leases desynchronize the Steal/Lease
+		// cadence); never park the same session twice.
+		parked := false
+		for _, w := range c.waiters {
+			if w == s {
+				parked = true
+				break
+			}
+		}
+		if !parked {
+			c.waiters = append(c.waiters, s)
+		}
 		c.mu.Unlock()
 		return nil
 	}
 	gid := c.pending[0]
 	c.pending = c.pending[1:]
 	lease := c.leaseLocked(gid, s)
+	ferr := c.saveManifestLocked()
 	c.mu.Unlock()
+	if ferr != nil {
+		c.standDown(ferr)
+		return ferr
+	}
 	metrics.Counter(MetricLeasesGranted).Inc()
 	return s.send(func(e *feed.Encoder) error { return e.WriteLease(lease) })
 }
@@ -469,11 +721,12 @@ func (c *Coordinator) renew(s *session) {
 	}
 }
 
-// acceptResult validates one Result against the group's current lease
-// and journals it. A non-nil return is a protocol violation that
-// drops the connection; fenced zombies and duplicates are dropped
-// silently (counted) because the journal must only ever grow by
-// currently-leased units.
+// acceptResult validates one Result against the coordinator epoch and
+// the group's current lease, journals it, and acks it back so the
+// worker can drop its redelivery copy. A non-nil return is a protocol
+// violation or fencing stand-down that drops the connection; fenced
+// zombies and duplicates are dropped silently (counted) because the
+// journal must only ever grow by currently-leased units.
 func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 	c.mu.Lock()
 	if c.finished {
@@ -485,6 +738,13 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 	if id < 0 || id >= c.plan.NumUnits() {
 		c.mu.Unlock()
 		return fmt.Errorf("result for unit %d outside plan of %d units", id, c.plan.NumUnits())
+	}
+	if r.Epoch != c.epoch {
+		c.mu.Unlock()
+		metrics.Counter(MetricResultsZombie).Inc()
+		c.logf("farm: fenced stale-epoch result for unit %d from session %d (epoch %d, current %d)",
+			id, s.id, r.Epoch, c.epoch)
+		return nil
 	}
 	u := c.plan.UnitFromID(id)
 	gid := c.plan.GroupID(u.Day, u.Block)
@@ -499,6 +759,9 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 	if !g.missing[u.Param] {
 		c.mu.Unlock()
 		metrics.Counter(MetricResultsDuplicate).Inc()
+		// Already journaled (e.g. the ack for it was lost with the old
+		// connection): ack again so the worker clears its buffer.
+		s.send(func(e *feed.Encoder) error { return e.WriteResultAck(&feed.ResultAck{Unit: r.Unit}) })
 		return nil
 	}
 	lo, hi := c.plan.BlockRange(u.Block)
@@ -506,7 +769,7 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 		c.mu.Unlock()
 		return fmt.Errorf("result for unit %d carries %d rows, want %d", id, len(r.Rets), hi-lo)
 	}
-	if err := c.journal.Append(sweep.Entry{U: id, Rets: r.Rets}); err != nil {
+	if err := c.appendFencedLocked(sweep.Entry{U: id, Rets: r.Rets}); err != nil {
 		ss := c.finishLocked(false, err)
 		c.mu.Unlock()
 		for _, x := range ss {
@@ -516,7 +779,8 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 	}
 	delete(g.missing, u.Param)
 	g.expiry = c.now().Add(c.ttl) // progress is as good as a heartbeat
-	if len(g.missing) == 0 {
+	groupDone := len(g.missing) == 0
+	if groupDone {
 		g.lease, g.session = 0, 0
 		delete(s.held, gid)
 	}
@@ -525,21 +789,33 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 	for _, row := range r.Rets {
 		c.trades += int64(len(row))
 	}
+	recovered := r.Flags&feed.ResultRecovered != 0
 	doneNow, total := c.doneUnits, c.unitsTotal
 	var ended []*session
+	ferr := error(nil)
 	if c.doneUnits == c.unitsTotal {
 		ended = c.finishLocked(false, nil)
 	} else if c.cc.Limit > 0 && c.accepted >= c.cc.Limit {
 		ended = c.finishLocked(true, nil)
+	} else if groupDone {
+		ferr = c.saveManifestLocked()
 	}
 	c.mu.Unlock()
 
 	metrics.Counter(MetricResultsAccepted).Inc()
+	if recovered {
+		metrics.Counter(MetricCoordRecovered).Inc()
+	}
+	s.send(func(e *feed.Encoder) error { return e.WriteResultAck(&feed.ResultAck{Unit: r.Unit}) })
 	if c.cc.Progress != nil {
 		c.cc.Progress(doneNow, total)
 	}
 	if ended != nil {
 		c.endSessions(ended)
+	}
+	if ferr != nil {
+		c.standDown(ferr)
+		return ferr
 	}
 	return nil
 }
@@ -550,12 +826,13 @@ func (c *Coordinator) acceptResult(s *session, r *feed.Result) error {
 func (c *Coordinator) dropSession(s *session) {
 	c.mu.Lock()
 	delete(c.sessions, s.id)
-	for i, w := range c.waiters {
-		if w == s {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-			break
+	ws := c.waiters[:0]
+	for _, w := range c.waiters {
+		if w != s {
+			ws = append(ws, w)
 		}
 	}
+	c.waiters = ws
 	reclaimed := 0
 	for gid := range s.held {
 		g := &c.groups[gid]
@@ -566,8 +843,16 @@ func (c *Coordinator) dropSession(s *session) {
 		}
 		delete(s.held, gid)
 	}
+	ferr := error(nil)
+	if reclaimed > 0 && !c.finished {
+		ferr = c.saveManifestLocked()
+	}
 	finished := c.finished
 	c.mu.Unlock()
+	if ferr != nil {
+		c.standDown(ferr)
+		return
+	}
 	if reclaimed > 0 {
 		metrics.Counter(MetricLeaseReclaims).Add(int64(reclaimed))
 		c.logf("farm: session %d (%q) disconnected holding %d group(s); requeued", s.id, s.name, reclaimed)
@@ -578,10 +863,24 @@ func (c *Coordinator) dropSession(s *session) {
 }
 
 // sweepLeases expires overdue leases (requeued at the front so lost
-// work re-deals first) and heartbeats every session so parked workers
-// know the coordinator is alive.
+// work re-deals first), heartbeats every session so parked workers
+// know the coordinator is alive, and refreshes the on-disk liveness
+// beacon. It is also the idle-path fencing probe: a stale coordinator
+// with no result traffic still notices a takeover within one tick.
 func (c *Coordinator) sweepLeases() {
 	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	if err := c.fenceCheckLocked(); err != nil {
+		ss := c.finishLocked(false, err)
+		c.mu.Unlock()
+		for _, s := range ss {
+			s.conn.Close()
+		}
+		return
+	}
 	now := c.now()
 	var expired []int
 	for gid := range c.groups {
@@ -591,14 +890,21 @@ func (c *Coordinator) sweepLeases() {
 			expired = append(expired, gid)
 		}
 	}
+	ferr := error(nil)
 	if len(expired) > 0 {
 		c.pending = append(append([]int{}, expired...), c.pending...)
+		ferr = c.saveManifestLocked()
 	}
+	c.writeHeartbeatLocked()
 	ss := make([]*session, 0, len(c.sessions))
 	for _, s := range c.sessions {
 		ss = append(ss, s)
 	}
 	c.mu.Unlock()
+	if ferr != nil {
+		c.standDown(ferr)
+		return
+	}
 
 	if len(expired) > 0 {
 		metrics.Counter(MetricLeaseExpiries).Add(int64(len(expired)))
@@ -635,7 +941,12 @@ func (c *Coordinator) wakeWaiters() {
 		gid := c.pending[0]
 		c.pending = c.pending[1:]
 		lease := c.leaseLocked(gid, s)
+		ferr := c.saveManifestLocked()
 		c.mu.Unlock()
+		if ferr != nil {
+			c.standDown(ferr)
+			return
+		}
 		metrics.Counter(MetricLeasesGranted).Inc()
 		// A failed send is recovered by the session's own read loop
 		// (its handler will drop and requeue the lease).

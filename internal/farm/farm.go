@@ -44,6 +44,24 @@
 // re-deals only the missing ones. All of this is exercised by the e2e
 // tests (subprocess SIGKILL mid-unit, chaos corrupt/cut dialer) and
 // scripts/farm_smoke.sh.
+//
+// # Coordinator crash tolerance
+//
+// The coordinator itself is crash-tolerant (see DESIGN.md §11). A
+// CRC-guarded manifest alongside the journal persists the coordinator
+// epoch, the monotonic session/lease counters, the live lease table
+// and the pending order; a restarted coordinator (or a warm standby
+// promoted by RunStandby after heartbeat-file silence) claims the next
+// epoch, holds the manifest's leases open for one TTL so their owners
+// can rejoin, and re-deals only what the journal does not already
+// hold. Epoch fencing makes the handoff safe: every durable write
+// re-reads the manifest epoch first, so a stale primary's writes fail
+// with ErrFenced, and Results stamped with an old epoch are dropped as
+// zombies. Workers survive the handoff too — they rejoin with their
+// prior session id, held lease ids and a buffer of
+// completed-but-unacked Results, which the new coordinator re-confirms
+// or absorbs idempotently (unit values are pure, so a redelivered
+// Result is bit-identical).
 package farm
 
 import "time"
@@ -68,4 +86,18 @@ const (
 	MetricResultsZombie    = "farm.results_zombie"
 	MetricResultsDuplicate = "farm.results_duplicate"
 	MetricResultsLate      = "farm.results_late"
+)
+
+// Coordinator-recovery counter names. Restarts counts cold starts that
+// found a prior manifest; takeovers counts standby promotions; epoch
+// fences counts durable writes a stale incarnation had refused; rejoins
+// counts accepted worker session resumes, and rejoin results recovered
+// counts buffered unacked Results those resumes redelivered (compute
+// that survived a coordinator death without re-running).
+const (
+	MetricCoordRestarts    = "farm.coordinator_restarts"
+	MetricCoordTakeovers   = "farm.coordinator_takeovers"
+	MetricCoordEpochFences = "farm.coordinator_epoch_fences"
+	MetricCoordRejoins     = "farm.coordinator_rejoins_accepted"
+	MetricCoordRecovered   = "farm.coordinator_rejoin_results_recovered"
 )

@@ -3,6 +3,7 @@ package farm
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net"
 	"os"
 	"os/exec"
@@ -88,10 +89,11 @@ func sameFarmResult(t *testing.T, want, got *backtest.Result) {
 // in ways the real worker never would (going silent, delivering under
 // a fenced lease).
 type fakeWorker struct {
-	t    *testing.T
-	conn net.Conn
-	enc  *feed.Encoder
-	dec  *feed.Decoder
+	t     *testing.T
+	conn  net.Conn
+	enc   *feed.Encoder
+	dec   *feed.Decoder
+	epoch uint64 // from the Grant; Results must carry it or be fenced
 }
 
 func joinFake(t *testing.T, addr, name, fingerprint string) *fakeWorker {
@@ -104,13 +106,13 @@ func joinFake(t *testing.T, addr, name, fingerprint string) *fakeWorker {
 	if err := fw.enc.WriteJoin(&feed.Join{Version: feed.ProtocolVersion, Name: name, Fingerprint: fingerprint}); err != nil {
 		t.Fatal(err)
 	}
-	if f := fw.read(); !isGrant(f) {
-		t.Fatalf("fake worker %s: handshake got %T, want Grant", name, f)
+	g, ok := fw.read().(*feed.Grant)
+	if !ok {
+		t.Fatalf("fake worker %s: handshake did not yield a Grant", name)
 	}
+	fw.epoch = g.Epoch
 	return fw
 }
-
-func isGrant(f feed.Frame) bool { _, ok := f.(*feed.Grant); return ok }
 
 func (f *fakeWorker) read() feed.Frame {
 	f.t.Helper()
@@ -132,6 +134,7 @@ func (f *fakeWorker) steal() *feed.Lease {
 	for {
 		switch fr := f.read().(type) {
 		case *feed.Heartbeat:
+		case *feed.ResultAck:
 		case *feed.Lease:
 			return fr
 		default:
@@ -228,20 +231,20 @@ func TestFarmLeaseExpiryFencesZombies(t *testing.T) {
 	unit := uint64(c.plan.UnitID(sweep.Unit{Day: int(leaseA.Day), Block: int(leaseA.Block), Param: int(leaseA.Params[0])}))
 
 	// The fenced generation's late result is rejected and counted...
-	if err := zombie.enc.WriteResult(&feed.Result{Lease: leaseA.ID, Gen: leaseA.Gen, Unit: unit, Rets: rows}); err != nil {
+	if err := zombie.enc.WriteResult(&feed.Result{Lease: leaseA.ID, Gen: leaseA.Gen, Epoch: zombie.epoch, Unit: unit, Rets: rows}); err != nil {
 		t.Fatal(err)
 	}
 	waitCounter(t, MetricResultsZombie, zomBase+1)
 
 	// ...and did not consume the unit: the current holder's lands.
-	if err := successor.enc.WriteResult(&feed.Result{Lease: leaseB.ID, Gen: leaseB.Gen, Unit: unit, Rets: rows}); err != nil {
+	if err := successor.enc.WriteResult(&feed.Result{Lease: leaseB.ID, Gen: leaseB.Gen, Epoch: successor.epoch, Unit: unit, Rets: rows}); err != nil {
 		t.Fatal(err)
 	}
 	waitCounter(t, MetricResultsAccepted, accBase+1)
 
 	// Redelivering a journaled unit under a live lease is a duplicate,
 	// not a zombie, and is dropped without growing the journal.
-	if err := successor.enc.WriteResult(&feed.Result{Lease: leaseB.ID, Gen: leaseB.Gen, Unit: unit, Rets: rows}); err != nil {
+	if err := successor.enc.WriteResult(&feed.Result{Lease: leaseB.ID, Gen: leaseB.Gen, Epoch: successor.epoch, Unit: unit, Rets: rows}); err != nil {
 		t.Fatal(err)
 	}
 	waitCounter(t, MetricResultsDuplicate, dupBase+1)
@@ -466,8 +469,10 @@ func TestFarmLimitResumeExecutesOnlyLostUnits(t *testing.T) {
 }
 
 // TestFarmFingerprintMismatchRefused: a worker started with different
-// sweep flags must never contribute a unit — the coordinator refuses
-// its Join, and the worker gives up after its redial budget.
+// sweep flags must never contribute a unit — the coordinator answers
+// its Join with an explicit Refuse, and the worker exits loudly on the
+// first attempt instead of burning its redial budget on a
+// misconfiguration that can never be accepted.
 func TestFarmFingerprintMismatchRefused(t *testing.T) {
 	cfg := mustFarmConfig()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -493,7 +498,7 @@ func TestFarmFingerprintMismatchRefused(t *testing.T) {
 
 	badCfg := cfg
 	badCfg.Market.Seed = 999 // different sweep, different fingerprint
-	_, err = RunWorker(context.Background(), WorkerConfig{
+	stats, err := RunWorker(context.Background(), WorkerConfig{
 		Config:          badCfg,
 		BlockSize:       farmBlockSize,
 		Name:            "imposter",
@@ -501,10 +506,53 @@ func TestFarmFingerprintMismatchRefused(t *testing.T) {
 		ReconnectWait:   5 * time.Millisecond,
 		MaxJoinFailures: 3,
 	})
-	if err == nil || !strings.Contains(err.Error(), "failed join attempts") {
-		t.Fatalf("mismatched worker returned %v, want join-failure error", err)
+	var refused *RefusedError
+	if !errors.As(err, &refused) {
+		t.Fatalf("mismatched worker returned %v, want RefusedError", err)
+	}
+	if refused.Code != feed.RefuseFingerprint {
+		t.Fatalf("refusal code %d, want RefuseFingerprint (%d)", refused.Code, feed.RefuseFingerprint)
+	}
+	if !strings.Contains(refused.Reason, "fingerprint") {
+		t.Fatalf("refusal reason %q does not name the fingerprint", refused.Reason)
+	}
+	if stats.Redials != 0 {
+		t.Fatalf("refused worker redialed %d times; an explicit refusal must be fatal on the first attempt", stats.Redials)
 	}
 
 	cancel()
 	<-serveDone
+}
+
+// TestFarmUnreachableCoordinatorRetriesThenFails pins the other half of
+// the refused/unreachable split: a coordinator that cannot be reached
+// at all is retried exactly MaxJoinFailures times under backoff before
+// the worker gives up.
+func TestFarmUnreachableCoordinatorRetriesThenFails(t *testing.T) {
+	// Bind-then-close gives an address that refuses connections.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	stats, err := RunWorker(context.Background(), WorkerConfig{
+		Config:          mustFarmConfig(),
+		BlockSize:       farmBlockSize,
+		Name:            "stranded",
+		Addr:            addr,
+		ReconnectWait:   time.Millisecond,
+		MaxJoinFailures: 4,
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed join attempts") {
+		t.Fatalf("stranded worker returned %v, want join-failure error", err)
+	}
+	var refused *RefusedError
+	if errors.As(err, &refused) {
+		t.Fatal("unreachable coordinator surfaced as a refusal; must stay a retryable failure")
+	}
+	if stats.Redials != 3 {
+		t.Fatalf("stranded worker redialed %d times, want MaxJoinFailures-1 = 3", stats.Redials)
+	}
 }

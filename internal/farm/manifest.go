@@ -1,0 +1,160 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Coordinator durable state. The checkpoint journal remains the only
+// durable record of *results*; the coordinator manifest adds the small
+// remainder a restarted (or failed-over) coordinator cannot rebuild
+// from the journal alone: the coordinator epoch (the fencing token
+// that outlives any one process), the monotonic session and lease id
+// counters (so new grants never collide with ids a previous
+// incarnation issued), the live lease table (so a rejoining worker's
+// in-flight groups can be re-confirmed instead of re-computed) and the
+// pending deque order (so a restart re-deals lost work in the same
+// front-first order a live coordinator would have). Like the journal
+// it is CRC-guarded; like the sweep progress manifest it is replaced
+// by atomic rename so no reader — a standby tailing it, a stale
+// primary fence-checking it — ever observes a torn write.
+
+// CoordManifestSchema versions the coordinator manifest format.
+const CoordManifestSchema = "marketminer/farm-coordinator/v1"
+
+// coordLease is one live lease in the manifest: group gid is held by
+// session under the given lease id and fencing generation.
+type coordLease struct {
+	Gid     int    `json:"gid"`
+	Lease   uint64 `json:"lease"`
+	Gen     uint64 `json:"gen"`
+	Session uint64 `json:"session"`
+}
+
+// coordManifest is the coordinator's durable state beyond the journal.
+type coordManifest struct {
+	Schema      string       `json:"schema"`
+	Fingerprint string       `json:"fingerprint"`
+	Epoch       uint64       `json:"epoch"`
+	NextSession uint64       `json:"next_session"`
+	NextLease   uint64       `json:"next_lease"`
+	Leases      []coordLease `json:"leases"`
+	Pending     []int        `json:"pending"`
+}
+
+// coordManifestLine is the on-disk envelope: the CRC32 (IEEE) of the
+// raw manifest JSON, mirroring the journal's per-entry guard.
+type coordManifestLine struct {
+	CRC uint32          `json:"crc"`
+	M   json.RawMessage `json:"m"`
+}
+
+// coordManifestPath derives the manifest path from the journal path.
+func coordManifestPath(journalPath string) string { return journalPath + ".coord" }
+
+// coordHeartbeatPath derives the liveness heartbeat path from the
+// journal path.
+func coordHeartbeatPath(journalPath string) string { return journalPath + ".coordhb" }
+
+// atomicWriteFile replaces path via a same-directory temp file and
+// rename, so readers only ever see complete contents.
+func atomicWriteFile(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".coord-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeCoordManifest atomically replaces the coordinator manifest.
+func writeCoordManifest(path string, m *coordManifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(coordManifestLine{CRC: crc32.ChecksumIEEE(payload), M: payload})
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, append(line, '\n'))
+}
+
+// readCoordManifest loads the coordinator manifest. A missing file is
+// (nil, nil) — a fresh farm. A present-but-damaged file is an error:
+// epoch monotonicity (the whole fencing argument) cannot be trusted
+// from a file that fails its checksum, so the caller must decide
+// loudly instead of guessing.
+func readCoordManifest(path string) (*coordManifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var line coordManifestLine
+	if err := json.Unmarshal(b, &line); err != nil || line.M == nil {
+		return nil, fmt.Errorf("farm: coordinator manifest %s: unparseable (%v)", path, err)
+	}
+	if got := crc32.ChecksumIEEE(line.M); got != line.CRC {
+		return nil, fmt.Errorf("farm: coordinator manifest %s: checksum mismatch (stored %08x, computed %08x)", path, line.CRC, got)
+	}
+	var m coordManifest
+	if err := json.Unmarshal(line.M, &m); err != nil {
+		return nil, fmt.Errorf("farm: coordinator manifest %s: %w", path, err)
+	}
+	if m.Schema != CoordManifestSchema {
+		return nil, fmt.Errorf("farm: coordinator manifest %s: schema %q, want %q", path, m.Schema, CoordManifestSchema)
+	}
+	return &m, nil
+}
+
+// coordHeartbeat is the primary's liveness beacon: a tiny file the
+// standby polls. Seq is bumped on every write; a standby that sees no
+// (Epoch, Seq) movement for its takeover TTL declares the primary dead.
+// Wall-clock timestamps are deliberately absent — liveness is judged by
+// change, not by comparing clocks across processes.
+type coordHeartbeat struct {
+	Schema string `json:"schema"`
+	Epoch  uint64 `json:"epoch"`
+	Seq    uint64 `json:"seq"`
+}
+
+// writeCoordHeartbeat atomically replaces the heartbeat file.
+func writeCoordHeartbeat(path string, hb coordHeartbeat) error {
+	hb.Schema = CoordManifestSchema
+	b, err := json.Marshal(hb)
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, append(b, '\n'))
+}
+
+// readCoordHeartbeat loads the heartbeat file; a missing or damaged
+// file is (nil, nil) — the standby treats both as silence.
+func readCoordHeartbeat(path string) (*coordHeartbeat, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var hb coordHeartbeat
+	if err := json.Unmarshal(b, &hb); err != nil {
+		return nil, nil
+	}
+	return &hb, nil
+}

@@ -1,0 +1,119 @@
+package farm
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"marketminer/internal/metrics"
+)
+
+// StandbyConfig configures a warm standby coordinator.
+type StandbyConfig struct {
+	// Coordinator is the configuration the standby will serve with if
+	// promoted. Its JournalPath locates the journal, manifest and
+	// heartbeat files the standby tails (shared storage with the
+	// primary).
+	Coordinator CoordinatorConfig
+	// PollEvery is the heartbeat-file polling cadence; ≤ 0 means 250ms.
+	PollEvery time.Duration
+	// TakeoverAfter is how long the heartbeat file must show no
+	// (epoch, seq) movement before the standby declares the primary
+	// dead and promotes itself; ≤ 0 means the lease TTL (DefaultLeaseTTL
+	// when that is unset too). A heartbeat file that never appears at
+	// all counts as silence from the moment the standby starts.
+	TakeoverAfter time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// now is the injectable clock (tests); nil means time.Now.
+	now func() time.Time
+}
+
+// RunStandby tails the primary coordinator's on-disk heartbeat and, on
+// sustained silence, promotes itself: it binds a listener via listen
+// (deferred so the standby holds no port while the primary is healthy
+// — primary and standby can even share an address), builds a
+// Coordinator from the same journal, and serves under the next epoch.
+// The epoch claim in the manifest fences the old primary: if it was
+// merely frozen rather than dead, its next durable write fails with
+// ErrFenced and it stands down — the journal never takes writes from
+// two coordinators.
+//
+// RunStandby returns the promoted coordinator's stats, or a nil stats
+// with ctx's error if cancelled while still standing by.
+func RunStandby(ctx context.Context, sc StandbyConfig, listen func() (net.Listener, error)) (*CoordStats, error) {
+	if sc.Coordinator.JournalPath == "" {
+		return nil, fmt.Errorf("farm: StandbyConfig.Coordinator.JournalPath is required")
+	}
+	poll := sc.PollEvery
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	ttl := sc.TakeoverAfter
+	if ttl <= 0 {
+		ttl = sc.Coordinator.LeaseTTL
+	}
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	now := sc.now
+	if now == nil {
+		now = time.Now
+	}
+	logf := func(format string, args ...any) {
+		if sc.Logf != nil {
+			sc.Logf(format, args...)
+		}
+	}
+
+	hbPath := coordHeartbeatPath(sc.Coordinator.JournalPath)
+	var lastEpoch, lastSeq uint64
+	seen := false
+	lastChange := now()
+	logf("farm: standby watching %s (takeover after %v of silence)", hbPath, ttl)
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		hb, err := readCoordHeartbeat(hbPath)
+		if err != nil {
+			return nil, err
+		}
+		if hb != nil && (!seen || hb.Epoch != lastEpoch || hb.Seq != lastSeq) {
+			seen = true
+			lastEpoch, lastSeq = hb.Epoch, hb.Seq
+			lastChange = now()
+			continue
+		}
+		if now().Sub(lastChange) < ttl {
+			continue
+		}
+		if seen {
+			logf("farm: standby: primary heartbeat (epoch %d, seq %d) silent for %v; taking over", lastEpoch, lastSeq, ttl)
+		} else {
+			logf("farm: standby: no primary heartbeat ever appeared; taking over after %v", ttl)
+		}
+		break
+	}
+
+	metrics.Counter(MetricCoordTakeovers).Inc()
+	l, err := listen()
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinator(sc.Coordinator)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if sc.now != nil {
+		c.now = sc.now
+	}
+	return c.Serve(ctx, l)
+}

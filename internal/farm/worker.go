@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -22,8 +23,14 @@ type WorkerConfig struct {
 	BlockSize int
 	// Name identifies this worker in coordinator logs.
 	Name string
-	// Addr is the coordinator's address; ignored when Dial is set.
+	// Addr is the coordinator's address; ignored when Dial or Addrs is
+	// set.
 	Addr string
+	// Addrs, when non-empty, lists candidate coordinator addresses —
+	// the primary first, then warm standbys. Redials rotate through
+	// the list, so a worker finds whichever address is serving after a
+	// takeover without operator intervention. Ignored when Dial is set.
+	Addrs []string
 	// Dial, when non-nil, replaces the default TCP dial — the chaos
 	// dialer hook (chaos.Chaos.Dialer wraps exactly this signature).
 	Dial func(ctx context.Context) (net.Conn, error)
@@ -39,17 +46,38 @@ type WorkerConfig struct {
 	// coordinator heartbeats parked workers every TTL/4, so a healthy
 	// link never trips this.
 	IdleTimeout time.Duration
-	// ReconnectWait is the initial redial backoff (doubled per failure
-	// up to 32×); ≤ 0 means 100ms.
+	// ReconnectWait is the base redial backoff (doubled per failure up
+	// to 32×, then jittered uniformly in [d/2, d] so a farm of workers
+	// orphaned by the same coordinator death does not redial in
+	// lockstep); ≤ 0 means 100ms.
 	ReconnectWait time.Duration
 	// MaxJoinFailures gives up after that many consecutive attempts
 	// that never reached a Grant; ≤ 0 means 10. Mid-sweep disconnects
-	// reset the count — only a coordinator that cannot be reached at
-	// all is fatal.
+	// reset the count — only a coordinator that cannot be *reached* is
+	// retried to this cap, while an explicit Refuse (version or
+	// fingerprint mismatch) is fatal on the first attempt: retrying a
+	// misconfiguration can never succeed.
 	MaxJoinFailures int
+	// JitterSeed seeds the backoff jitter rng (0 = deterministic
+	// default seed; tests rely on reproducible schedules).
+	JitterSeed int64
+	// Jitter, when non-nil, replaces the JitterSeed-derived rng. The
+	// worker owns it privately (single goroutine), so an injected
+	// seeded rng pins a test's exact backoff sequence.
+	Jitter *rand.Rand
+	// Sleep, when non-nil, replaces the real backoff wait. It must
+	// return false iff ctx was cancelled before the delay elapsed.
+	// Tests inject a recording fake so reconnect schedules can be
+	// asserted without wall-clock time.
+	Sleep func(ctx context.Context, d time.Duration) bool
+	// MaxUnacked caps the completed-but-unacknowledged Results buffered
+	// for redelivery across a coordinator restart; ≤ 0 means 1024.
+	// Overflow evicts arbitrarily — an evicted unit is merely
+	// recomputed, never lost.
+	MaxUnacked int
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
-	// OnUnit, when non-nil, is called after each completed unit with
+	// OnUnit, when non-nil, is called after each computed unit with
 	// the running per-worker count (test crash hooks, progress bars).
 	OnUnit func(done int)
 }
@@ -62,12 +90,39 @@ type WorkerStats struct {
 	// Sessions counts successful Join handshakes; Redials counts
 	// connection attempts that had to be retried.
 	Sessions, Redials int
+	// Rejoins counts sessions resumed from a prior one (coordinator
+	// restart or takeover); Recovered counts buffered Results
+	// redelivered instead of recomputed after such a resume.
+	Rejoins, Recovered int
+	// Backoffs records each jittered redial delay, in order (tests pin
+	// the schedule; operators see reconnect pressure).
+	Backoffs []time.Duration
 	// Warm summarises the robust kernel's warm-start behaviour.
 	Warm sweep.RobustSummary
 }
 
 // errSweepDone signals a clean End from the coordinator.
 var errSweepDone = errors.New("farm: sweep complete")
+
+// RefusedError is an explicit coordinator rejection of the Join
+// handshake — a protocol-version or sweep-fingerprint mismatch. It is
+// fatal: the worker exits loudly instead of burning its redial budget
+// on a configuration that can never be accepted.
+type RefusedError struct {
+	Code   uint16 // feed.RefuseVersion or feed.RefuseFingerprint
+	Reason string
+}
+
+func (e *RefusedError) Error() string {
+	kind := "join refused"
+	switch e.Code {
+	case feed.RefuseVersion:
+		kind = "protocol version refused"
+	case feed.RefuseFingerprint:
+		kind = "sweep fingerprint refused"
+	}
+	return fmt.Sprintf("farm: %s by coordinator: %s", kind, e.Reason)
+}
 
 // wireError marks a network failure inside a compute loop: retryable
 // by reconnecting, unlike a compute error (wrong config, engine bug)
@@ -80,11 +135,13 @@ func (e wireError) Unwrap() error { return e.err }
 // RunWorker joins the coordinator, steals and computes groups through
 // the same sweep.GroupRunner the single-host orchestrator uses, and
 // streams each unit's Result back, until the coordinator sends End.
-// It
-// reconnects with exponential backoff across coordinator restarts,
-// chaos cuts and idle timeouts; it returns an error only when the
-// coordinator is unreachable for MaxJoinFailures straight attempts,
-// the configuration is rejected locally, or ctx is cancelled.
+// It reconnects with jittered exponential backoff across coordinator
+// restarts, standby takeovers (rotating through Addrs), chaos cuts and
+// idle timeouts, resuming its prior session so in-flight groups and
+// unacknowledged Results survive the handoff; it returns an error only
+// when no coordinator is reachable for MaxJoinFailures straight
+// attempts, the coordinator explicitly refuses the Join, the
+// configuration is rejected locally, or ctx is cancelled.
 func RunWorker(ctx context.Context, wc WorkerConfig) (*WorkerStats, error) {
 	if wc.HeartbeatEvery <= 0 {
 		wc.HeartbeatEvery = time.Second
@@ -98,22 +155,52 @@ func RunWorker(ctx context.Context, wc WorkerConfig) (*WorkerStats, error) {
 	if wc.MaxJoinFailures <= 0 {
 		wc.MaxJoinFailures = 10
 	}
-	dial := wc.Dial
-	if dial == nil {
-		if wc.Addr == "" {
-			return nil, fmt.Errorf("farm: WorkerConfig.Addr or Dial is required")
+	if wc.MaxUnacked <= 0 {
+		wc.MaxUnacked = 1024
+	}
+	if wc.Jitter == nil {
+		wc.Jitter = rand.New(rand.NewSource(wc.JitterSeed))
+	}
+	if wc.Sleep == nil {
+		wc.Sleep = func(ctx context.Context, d time.Duration) bool {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return true
+			case <-ctx.Done():
+				return false
+			}
 		}
-		dial = func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", wc.Addr)
+	}
+	addrs := wc.Addrs
+	if len(addrs) == 0 && wc.Addr != "" {
+		addrs = []string{wc.Addr}
+	}
+	if wc.Dial == nil && len(addrs) == 0 {
+		return nil, fmt.Errorf("farm: WorkerConfig.Addr, Addrs or Dial is required")
+	}
+	dialN := 0
+	dial := func(ctx context.Context) (net.Conn, error) {
+		if wc.Dial != nil {
+			return wc.Dial(ctx)
 		}
+		addr := addrs[dialN%len(addrs)]
+		dialN++
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", addr)
 	}
 	runner, err := sweep.NewGroupRunner(wc.Config, wc.BlockSize)
 	if err != nil {
 		return nil, err
 	}
 
-	w := &worker{wc: wc, runner: runner}
+	w := &worker{
+		wc:      wc,
+		runner:  runner,
+		held:    map[int]uint64{},
+		unacked: map[int]*feed.Result{},
+	}
 	stats := &w.stats
 	backoff := wc.ReconnectWait
 	joinFailures := 0
@@ -134,6 +221,11 @@ func RunWorker(ctx context.Context, wc WorkerConfig) (*WorkerStats, error) {
 		if ctx.Err() != nil {
 			return stats, ctx.Err()
 		}
+		var refused *RefusedError
+		if errors.As(err, &refused) {
+			w.logf("farm worker: FATAL: %v", refused)
+			return stats, refused
+		}
 		var we wireError
 		if joined || errors.As(err, &we) {
 			joinFailures = 0
@@ -145,11 +237,13 @@ func RunWorker(ctx context.Context, wc WorkerConfig) (*WorkerStats, error) {
 			}
 		}
 		stats.Redials++
-		w.logf("farm worker: connection lost (%v); redialing in %v", err, backoff)
-		select {
-		case <-ctx.Done():
+		// Jitter uniformly in [backoff/2, backoff] (the Collector's
+		// reconnect idiom) so orphaned workers spread their redials.
+		d := backoff/2 + time.Duration(wc.Jitter.Int63n(int64(backoff/2)+1))
+		stats.Backoffs = append(stats.Backoffs, d)
+		w.logf("farm worker: connection lost (%v); redialing in %v", err, d)
+		if !wc.Sleep(ctx, d) {
 			return stats, ctx.Err()
-		case <-time.After(backoff):
 		}
 		if backoff *= 2; backoff > 32*wc.ReconnectWait {
 			backoff = 32 * wc.ReconnectWait
@@ -161,6 +255,17 @@ type worker struct {
 	wc     WorkerConfig
 	runner *sweep.GroupRunner
 	stats  WorkerStats
+
+	// Resume state, carried across sessions. held maps gid → the lease
+	// id this worker most recently received for it (reported in the
+	// rejoin Join so the new coordinator re-confirms instead of
+	// reassigning); unacked maps unit id → the completed Result whose
+	// durability the coordinator has not yet acknowledged (redelivered
+	// under a re-confirmed lease instead of recomputed).
+	sessionID uint64
+	epoch     uint64
+	held      map[int]uint64
+	unacked   map[int]*feed.Result
 }
 
 func (w *worker) logf(format string, args ...any) {
@@ -169,9 +274,58 @@ func (w *worker) logf(format string, args ...any) {
 	}
 }
 
-// session runs one connection: Join → Grant, then steal/compute/result
-// until End or failure. joined reports whether a Grant was received
-// (resets the fatal join-failure counter).
+// heldLeaseIDs snapshots the lease ids to claim in a rejoin Join,
+// bounded by the wire-format cap (an unreported lease is merely
+// reassigned by the coordinator, never lost).
+func (w *worker) heldLeaseIDs() []uint64 {
+	const wireCap = 1024 // feed's maxHeldLeases
+	ids := make([]uint64, 0, len(w.held))
+	for _, id := range w.held {
+		ids = append(ids, id)
+		if len(ids) == wireCap {
+			break
+		}
+	}
+	return ids
+}
+
+// ack clears one acknowledged unit and releases its group's held lease
+// once nothing of that group remains buffered.
+func (w *worker) ack(unit int) {
+	if _, ok := w.unacked[unit]; !ok {
+		return
+	}
+	delete(w.unacked, unit)
+	plan := w.runner.Plan()
+	if unit >= plan.NumUnits() {
+		return
+	}
+	u := plan.UnitFromID(unit)
+	gid := plan.GroupID(u.Day, u.Block)
+	for id := range w.unacked {
+		ou := plan.UnitFromID(id)
+		if plan.GroupID(ou.Day, ou.Block) == gid {
+			return
+		}
+	}
+	delete(w.held, gid)
+}
+
+// buffer records a delivered Result for potential redelivery, evicting
+// arbitrarily at the cap (the evicted unit is recomputed, not lost).
+func (w *worker) buffer(r *feed.Result) {
+	if len(w.unacked) >= w.wc.MaxUnacked {
+		for id := range w.unacked {
+			delete(w.unacked, id)
+			break
+		}
+	}
+	w.unacked[int(r.Unit)] = r
+}
+
+// session runs one connection: Join → Grant (or Refuse), then
+// steal/compute/result until End or failure. joined reports whether a
+// Grant was received (resets the fatal join-failure counter).
 func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err error) {
 	// Writes come from this goroutine (Join, Steal, Results) and the
 	// heartbeat goroutine; writeMu serializes them on the shared
@@ -189,9 +343,18 @@ func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err e
 		return dec.Read()
 	}
 
-	if err := send(func(e *feed.Encoder) error {
-		return e.WriteJoin(&feed.Join{Version: feed.ProtocolVersion, Name: w.wc.Name, Fingerprint: w.runner.Fingerprint()})
-	}); err != nil {
+	rejoin := w.sessionID != 0
+	join := &feed.Join{
+		Version:     feed.ProtocolVersion,
+		Name:        w.wc.Name,
+		Fingerprint: w.runner.Fingerprint(),
+	}
+	if rejoin {
+		join.PriorSession = w.sessionID
+		join.PriorEpoch = w.epoch
+		join.HeldLeases = w.heldLeaseIDs()
+	}
+	if err := send(func(e *feed.Encoder) error { return e.WriteJoin(join) }); err != nil {
 		return false, err
 	}
 	f, err := read()
@@ -202,8 +365,21 @@ func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err e
 	switch f := f.(type) {
 	case *feed.Grant:
 		session = f.Session
+		w.sessionID, w.epoch = f.Session, f.Epoch
+		// Old lease ids died with the old coordinator; re-confirmed
+		// groups arrive as fresh Lease frames and repopulate held.
+		w.held = map[int]uint64{}
 		w.stats.Sessions++
-		w.logf("farm worker: joined as session %d (%d/%d units already done)", f.Session, f.UnitsDone, f.UnitsTotal)
+		if rejoin {
+			w.stats.Rejoins++
+			w.logf("farm worker: rejoined as session %d under epoch %d (was session %d; %d unit(s) buffered for redelivery)",
+				f.Session, f.Epoch, join.PriorSession, len(w.unacked))
+		} else {
+			w.logf("farm worker: joined as session %d under epoch %d (%d/%d units already done)",
+				f.Session, f.Epoch, f.UnitsDone, f.UnitsTotal)
+		}
+	case *feed.Refuse:
+		return false, &RefusedError{Code: f.Code, Reason: f.Reason}
 	case *feed.End:
 		return true, errSweepDone
 	default:
@@ -236,7 +412,8 @@ func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err e
 			return true, err
 		}
 		// Read until work arrives; coordinator heartbeats punctuate
-		// long parks and reset the idle timer.
+		// long parks and reset the idle timer, result acks retire the
+		// redelivery buffer.
 	wait:
 		for {
 			f, err := read()
@@ -246,6 +423,8 @@ func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err e
 			switch f := f.(type) {
 			case *feed.Heartbeat:
 				continue
+			case *feed.ResultAck:
+				w.ack(int(f.Unit))
 			case *feed.End:
 				return true, errSweepDone
 			case *feed.Lease:
@@ -261,32 +440,71 @@ func (w *worker) session(ctx context.Context, conn net.Conn) (joined bool, err e
 }
 
 // compute executes one leased group and streams each unit's Result
-// back, stamped with the lease's fencing generation.
+// back, stamped with the lease's fencing generation and the session's
+// coordinator epoch. Units the lease asks for that are already in the
+// redelivery buffer (computed under a previous session, ack lost with
+// the old coordinator) are resent as-is with the recovered flag;
+// buffered units the lease does *not* ask for are already journaled
+// and are dropped.
 func (w *worker) compute(ctx context.Context, l *feed.Lease, send func(func(*feed.Encoder) error) error) error {
 	plan := w.runner.Plan()
 	day, block := int(l.Day), int(l.Block)
 	if day >= plan.Days || block >= plan.NumBlocks() {
 		return fmt.Errorf("farm: lease for group (%d,%d) outside plan", day, block)
 	}
-	units := make([]sweep.Unit, len(l.Params))
-	for i, p := range l.Params {
+	gid := plan.GroupID(day, block)
+	w.held[gid] = l.ID
+
+	asked := make(map[int]bool, len(l.Params))
+	units := make([]sweep.Unit, 0, len(l.Params))
+	recovered := 0
+	for _, p := range l.Params {
 		if int(p) >= plan.NumParams() {
 			return fmt.Errorf("farm: lease param %d outside plan", p)
 		}
-		units[i] = sweep.Unit{Day: day, Block: block, Param: int(p)}
+		u := sweep.Unit{Day: day, Block: block, Param: int(p)}
+		id := plan.UnitID(u)
+		asked[id] = true
+		if r, ok := w.unacked[id]; ok {
+			// Re-stamp under the new lease: the value is a pure
+			// function of (day, block, param), so the bytes computed
+			// under the old session are exactly what this lease wants.
+			r.Lease, r.Gen, r.Epoch = l.ID, l.Gen, w.epoch
+			r.Flags |= feed.ResultRecovered
+			if err := send(func(e *feed.Encoder) error { return e.WriteResult(r) }); err != nil {
+				return wireError{err}
+			}
+			recovered++
+			continue
+		}
+		units = append(units, u)
 	}
+	for id := range w.unacked {
+		u := plan.UnitFromID(id)
+		if plan.GroupID(u.Day, u.Block) == gid && !asked[id] {
+			delete(w.unacked, id) // journaled before the old coordinator died
+		}
+	}
+	if recovered > 0 {
+		w.stats.Recovered += recovered
+		w.logf("farm worker: redelivered %d buffered unit(s) for group (%d,%d) instead of recomputing", recovered, day, block)
+	}
+	if len(units) == 0 {
+		w.stats.Groups++
+		return nil
+	}
+
 	engineWorkers := w.wc.EngineWorkers
 	if engineWorkers <= 0 {
 		engineWorkers = w.runner.Config().ResolvedWorkers()
 	}
-	gid := plan.GroupID(day, block)
 	err := w.runner.RunGroup(ctx, gid, units, engineWorkers, func(e sweep.Entry, trades int64) error {
-		err := send(func(enc *feed.Encoder) error {
-			return enc.WriteResult(&feed.Result{Lease: l.ID, Gen: l.Gen, Unit: uint64(e.U), Rets: e.Rets})
-		})
+		r := &feed.Result{Lease: l.ID, Gen: l.Gen, Epoch: w.epoch, Unit: uint64(e.U), Rets: e.Rets}
+		err := send(func(enc *feed.Encoder) error { return enc.WriteResult(r) })
 		if err != nil {
 			return wireError{err}
 		}
+		w.buffer(r)
 		w.stats.Units++
 		if w.wc.OnUnit != nil {
 			w.wc.OnUnit(w.stats.Units)

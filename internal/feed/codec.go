@@ -94,6 +94,10 @@ func (t FrameType) String() string {
 		return "result"
 	case FrameSteal:
 		return "steal"
+	case FrameRefuse:
+		return "refuse"
+	case FrameResultAck:
+		return "result-ack"
 	default:
 		return fmt.Sprintf("type-%d", byte(t))
 	}
@@ -110,8 +114,9 @@ func protoErrf(format string, args ...any) error {
 // Frame is one decoded wire message: *Hello, *Batch, *Heartbeat, *End
 // or *Subscribe from the quote feed, *GroupSub, *Assign,
 // *SnapshotFrame, *DeltaFrame or *AckFrame from the signal broker
-// extension (see signal.go), or *Join, *Grant, *Lease, *Result or
-// *Steal from the sweep-farm extension (see farm.go).
+// extension (see signal.go), or *Join, *Grant, *Refuse, *Lease,
+// *Result, *ResultAck or *Steal from the sweep-farm extension (see
+// farm.go).
 type Frame interface{ frameType() FrameType }
 
 // Hello is the first server frame: protocol version plus the symbol
@@ -367,6 +372,14 @@ func (d *Decoder) Read() (Frame, error) {
 			return nil, err
 		}
 		return &Steal{Done: done}, nil
+	case FrameRefuse:
+		return decodeRefuse(d.buf)
+	case FrameResultAck:
+		unit, err := decodeU64Payload(d.buf, "result-ack")
+		if err != nil {
+			return nil, err
+		}
+		return &ResultAck{Unit: unit}, nil
 	default:
 		return nil, protoErrf("unknown frame type %d", hdr[0])
 	}

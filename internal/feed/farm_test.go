@@ -13,16 +13,21 @@ import (
 // rows and the non-nil-empty-row invariant merge byte-identity needs.
 func TestFarmFrameRoundTrip(t *testing.T) {
 	frames := []Frame{
-		&Join{Version: ProtocolVersion, Name: "worker-7", Fingerprint: "00deadbeef00cafe"},
-		&Join{Version: 1, Name: "", Fingerprint: ""},
-		&Grant{Session: 42, UnitsTotal: 1830 * 42 * 20, UnitsDone: 917},
+		&Join{Version: ProtocolVersion, Name: "worker-7", Fingerprint: "00deadbeef00cafe", HeldLeases: []uint64{}},
+		&Join{Version: 1, Name: "", Fingerprint: "", HeldLeases: []uint64{}},
+		&Join{Version: ProtocolVersion, Name: "rejoiner", Fingerprint: "00deadbeef00cafe",
+			PriorSession: 7, PriorEpoch: 3, HeldLeases: []uint64{12, 99}},
+		&Grant{Session: 42, Epoch: 5, UnitsTotal: 1830 * 42 * 20, UnitsDone: 917},
+		&Refuse{Code: RefuseFingerprint, Reason: "sweep fingerprint mismatch"},
+		&Refuse{Code: RefuseVersion, Reason: ""},
 		&Lease{ID: 9, Gen: 3, Day: 19, Block: 14, TTLMillis: 10_000, Params: []uint16{0, 5, 41}},
 		&Lease{ID: 1, Gen: 1, Day: 0, Block: 0, TTLMillis: 1, Params: []uint16{}},
-		&Result{Lease: 9, Gen: 3, Unit: 1234567, Rets: [][]float64{
+		&Result{Lease: 9, Gen: 3, Epoch: 2, Unit: 1234567, Flags: ResultRecovered, Rets: [][]float64{
 			{0.0012, -3.4e-5, math.Inf(1)},
 			{},
 			{math.Copysign(0, -1)},
 		}},
+		&ResultAck{Unit: 1234567},
 		&Steal{Done: 77},
 	}
 	var buf bytes.Buffer
@@ -34,10 +39,14 @@ func TestFarmFrameRoundTrip(t *testing.T) {
 			err = enc.WriteJoin(f)
 		case *Grant:
 			err = enc.WriteGrant(f)
+		case *Refuse:
+			err = enc.WriteRefuse(f)
 		case *Lease:
 			err = enc.WriteLease(f)
 		case *Result:
 			err = enc.WriteResult(f)
+		case *ResultAck:
+			err = enc.WriteResultAck(f)
 		case *Steal:
 			err = enc.WriteSteal(f)
 		}
@@ -94,14 +103,21 @@ func TestFarmFrameMalformed(t *testing.T) {
 		{"join empty", FrameJoin, nil},
 		{"join truncated name", FrameJoin, []byte{2, 0, 5, 0, 'a'}},
 		{"join truncated before fingerprint", FrameJoin, []byte{2, 0, 1, 0, 'a'}},
-		{"join trailing bytes", FrameJoin, []byte{2, 0, 0, 0, 0, 0, 9}},
-		{"grant short", FrameGrant, make([]byte, 23)},
-		{"grant long", FrameGrant, make([]byte, 25)},
+		{"join truncated before rejoin fields", FrameJoin, []byte{2, 0, 0, 0, 0, 0, 9}},
+		{"join held-lease count lies", FrameJoin, append(make([]byte, 6+16), 2, 0, 1)},
+		{"join trailing bytes", FrameJoin, append(make([]byte, 6+18), 9)},
+		{"grant short", FrameGrant, make([]byte, 31)},
+		{"grant long", FrameGrant, make([]byte, 33)},
+		{"refuse empty", FrameRefuse, nil},
+		{"refuse reason truncated", FrameRefuse, []byte{1, 0, 5, 0, 'a'}},
+		{"refuse trailing bytes", FrameRefuse, []byte{1, 0, 1, 0, 'a', 'b'}},
 		{"lease short", FrameLease, make([]byte, 29)},
 		{"lease param count mismatch", FrameLease, append(make([]byte, 28), 3, 0, 1, 0)},
-		{"result short", FrameResult, make([]byte, 27)},
-		{"result row count lies", FrameResult, append(make([]byte, 24), 2, 0, 0, 0)},
-		{"result row payload truncated", FrameResult, append(make([]byte, 24), 1, 0, 0, 0, 2, 0, 0, 0, 1, 2, 3)},
+		{"result short", FrameResult, make([]byte, resultHeaderSize-1)},
+		{"result row count lies", FrameResult, append(make([]byte, resultHeaderSize-4), 2, 0, 0, 0)},
+		{"result row payload truncated", FrameResult, append(make([]byte, resultHeaderSize-4), 1, 0, 0, 0, 2, 0, 0, 0, 1, 2, 3)},
+		{"result-ack short", FrameResultAck, make([]byte, 7)},
+		{"result-ack long", FrameResultAck, make([]byte, 9)},
 		{"steal short", FrameSteal, make([]byte, 7)},
 	}
 	for _, tc := range cases {

@@ -12,8 +12,9 @@ import (
 // decoder's contract under corruption is: return an error (or a clean
 // EOF), never panic, never allocate proportionally to a lying length
 // field. The seed corpus is the frame mix the chaos e2e exercises —
-// every frame type the quote feed and the signal broker speak, plus
-// truncated, bit-flipped and length-corrupted variants of each.
+// every frame type the quote feed, the signal broker and the sweep
+// farm speak, plus truncated, bit-flipped and length-corrupted
+// variants of each.
 func FuzzDecoder(f *testing.F) {
 	u, err := newSeedUniverse()
 	if err != nil {
@@ -45,6 +46,23 @@ func FuzzDecoder(f *testing.F) {
 		seed(func() error { return enc.WriteSnapshot(&SnapshotFrame{Partition: 1, EndOffset: 8, Latest: sigs}) }),
 		seed(func() error { return enc.WriteDelta(&DeltaFrame{Partition: 1, Sealed: true, Signals: sigs}) }),
 		seed(func() error { return enc.WriteAck(&AckFrame{Partition: 1, Offset: 8}) }),
+		// Sweep-farm extension frames, including the rejoin fields and
+		// the Refuse/ResultAck types the coordinator-recovery path adds.
+		seed(func() error {
+			return enc.WriteJoin(&Join{Version: ProtocolVersion, Name: "w-0", Fingerprint: "00deadbeef00cafe",
+				PriorSession: 7, PriorEpoch: 2, HeldLeases: []uint64{3, 9}})
+		}),
+		seed(func() error { return enc.WriteGrant(&Grant{Session: 7, Epoch: 2, UnitsTotal: 96, UnitsDone: 14}) }),
+		seed(func() error { return enc.WriteRefuse(&Refuse{Code: RefuseFingerprint, Reason: "mismatch"}) }),
+		seed(func() error {
+			return enc.WriteLease(&Lease{ID: 3, Gen: 4, Day: 1, Block: 2, TTLMillis: 5000, Params: []uint16{0, 5}})
+		}),
+		seed(func() error {
+			return enc.WriteResult(&Result{Lease: 3, Gen: 4, Epoch: 2, Unit: 17, Flags: ResultRecovered,
+				Rets: [][]float64{{0.25, -0.5}, {}}})
+		}),
+		seed(func() error { return enc.WriteResultAck(&ResultAck{Unit: 17}) }),
+		seed(func() error { return enc.WriteSteal(&Steal{Done: 12}) }),
 	}
 
 	// A hello followed by a batch (the decoder's symbol table path),

@@ -64,4 +64,71 @@ grep -q ' 0 from 0 worker' "$tmp/reserve.log" || {
     exit 1
 }
 
-echo "farm smoke: OK (SIGKILL + chaos farm output byte-identical to single-host; finished journal re-serves as a no-op)"
+echo "== farm smoke: coordinator SIGKILLed mid-sweep, restarted on the same journal"
+
+# This time the *coordinator* is hard-killed mid-sweep. The restart
+# must claim a higher epoch from the manifest, restore the journaled
+# units, accept the worker's session resume, and finish byte-identical.
+# A bigger grid (8 levels x 3 types in 4-pair blocks: 14 groups / 336
+# units, several seconds of work) guarantees the kill lands mid-sweep.
+SWEEP2="-scale tiny -levels 8 -block 4"
+"$tmp/mmbacktest" $SWEEP2 -json "$tmp/single2.json" >/dev/null
+
+"$tmp/mmfarm" serve -listen $ADDR -journal "$tmp/restart.journal" $SWEEP2 \
+    -ttl 2s -quiet > "$tmp/serve1.log" 2>&1 &
+serve1_pid=$!
+sleep 0.3
+"$tmp/mmfarm" work -connect $ADDR $SWEEP2 -name restart-rider -quiet > "$tmp/rider.log" 2>&1 &
+rider_pid=$!
+
+# Kill the moment a couple dozen units are journaled — polling the
+# journal instead of sleeping keeps the kill mid-sweep on any machine.
+polls=0
+while :; do
+    lines=$(wc -l < "$tmp/restart.journal" 2>/dev/null || echo 0)
+    [ "$lines" -ge 24 ] && break
+    polls=$((polls + 1))
+    [ "$polls" -ge 400 ] && {
+        echo "farm smoke: sweep never reached 24 journaled units; cannot test the restart" >&2
+        cat "$tmp/serve1.log" "$tmp/rider.log" >&2
+        exit 1
+    }
+    sleep 0.05
+done
+kill -9 "$serve1_pid" 2>/dev/null || true
+wait "$serve1_pid" 2>/dev/null || true
+sleep 0.2
+
+"$tmp/mmfarm" serve -listen $ADDR -journal "$tmp/restart.journal" $SWEEP2 \
+    -ttl 2s -merge-out "$tmp/restart-merged.json" -quiet > "$tmp/serve2.log" 2>&1 || {
+    echo "farm smoke: restarted coordinator failed:" >&2
+    cat "$tmp/serve2.log" >&2
+    exit 1
+}
+wait "$rider_pid" || { echo "farm smoke: worker did not survive the coordinator restart:"; cat "$tmp/rider.log"; exit 1; } >&2
+
+cmp "$tmp/single2.json" "$tmp/restart-merged.json" || {
+    echo "farm smoke: output after coordinator kill+restart differs from single-host run" >&2
+    exit 1
+}
+
+# Hard assertions that the recovery path was actually on the hook: the
+# restart found a prior manifest, restored journaled units instead of
+# recomputing them, and accepted the worker's session resume.
+grep -q 'farm\.coordinator_restarts = 1' "$tmp/serve2.log" || {
+    echo "farm smoke: restart did not register as a coordinator restart:" >&2
+    cat "$tmp/serve2.log" >&2
+    exit 1
+}
+grep -Eq 'farm\.coordinator_rejoins_accepted = [1-9]' "$tmp/serve2.log" || {
+    echo "farm smoke: no worker session resume was accepted after the restart:" >&2
+    cat "$tmp/serve2.log" >&2
+    exit 1
+}
+grep -q '(0 restored' "$tmp/serve2.log" && {
+    echo "farm smoke: restart restored nothing; the SIGKILL missed the sweep:" >&2
+    cat "$tmp/serve2.log" >&2
+    exit 1
+}
+
+echo "farm smoke: OK (SIGKILL + chaos farm output byte-identical to single-host; finished journal re-serves as a no-op; coordinator kill+restart recovers byte-identically)"

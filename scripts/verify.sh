@@ -50,6 +50,9 @@ go test -race ./internal/broker
 echo "== go test -race ./internal/farm ./internal/feed (distributed sweep farm focus)"
 go test -race ./internal/farm ./internal/feed
 
+echo "== coordinator crash-recovery gate: SIGKILL restart, standby takeover, fencing, torn tail"
+go test -race -run 'TestFarmCoordinatorSIGKILL|TestFarmStandbyTakeover|TestFarmEpochFencing|TestFarmJournalTornTail|TestFarmCoordinatorMetrics|TestFarmWorkerBackoff' ./internal/farm
+
 echo "== go test -race ./..."
 go test -race ./...
 
